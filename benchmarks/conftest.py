@@ -1,0 +1,38 @@
+"""pytest-benchmark harness for the figure reproductions.
+
+Each ``test_fig*.py`` regenerates one of the paper's tables/figures and
+asserts its qualitative shape checks.  The profile defaults to ``smoke`` so
+the suite stays fast; export ``REPRO_PROFILE=quick`` (or ``paper``) for the
+real reproductions — EXPERIMENTS.md records the quick-profile numbers.
+"""
+
+import os
+
+import pytest
+
+from repro.harness import get_profile, get_experiment, render, save_json
+
+
+@pytest.fixture(scope="session")
+def profile():
+    name = os.environ.get("REPRO_PROFILE", "smoke")
+    return get_profile(name, seed=int(os.environ.get("REPRO_SEED", "0")))
+
+
+@pytest.fixture
+def regenerate(benchmark, profile):
+    """Run one experiment exactly once under the benchmark timer."""
+
+    def _run(experiment_id, require_checks=True):
+        result = benchmark.pedantic(
+            get_experiment(experiment_id), args=(profile,),
+            rounds=1, iterations=1,
+        )
+        print(render(result))
+        save_json(result, os.environ.get("REPRO_RESULTS", "results"))
+        if require_checks:
+            failed = [name for name, ok in result.checks.items() if not ok]
+            assert not failed, f"shape checks failed: {failed}"
+        return result
+
+    return _run

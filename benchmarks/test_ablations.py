@@ -1,0 +1,5 @@
+"""Regenerate the paper's ablations experiment (see repro.harness.figures.ablations)."""
+
+
+def test_ablations(regenerate):
+    regenerate("ablations")

@@ -1,0 +1,5 @@
+"""Regenerate the paper's fig10 experiment (see repro.harness.figures.fig10)."""
+
+
+def test_fig10(regenerate):
+    regenerate("fig10")

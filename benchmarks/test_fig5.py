@@ -1,0 +1,5 @@
+"""Regenerate the paper's fig5 experiment (see repro.harness.figures.fig5)."""
+
+
+def test_fig5(regenerate):
+    regenerate("fig5")

@@ -1,0 +1,5 @@
+"""Regenerate the paper's fig6 experiment (see repro.harness.figures.fig6)."""
+
+
+def test_fig6(regenerate):
+    regenerate("fig6")

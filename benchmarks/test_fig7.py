@@ -1,0 +1,5 @@
+"""Regenerate the paper's fig7 experiment (see repro.harness.figures.fig7)."""
+
+
+def test_fig7(regenerate):
+    regenerate("fig7")

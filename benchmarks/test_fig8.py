@@ -1,0 +1,5 @@
+"""Regenerate the paper's fig8 experiment (see repro.harness.figures.fig8)."""
+
+
+def test_fig8(regenerate):
+    regenerate("fig8")

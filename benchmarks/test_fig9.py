@@ -1,0 +1,5 @@
+"""Regenerate the paper's fig9 experiment (see repro.harness.figures.fig9)."""
+
+
+def test_fig9(regenerate):
+    regenerate("fig9")

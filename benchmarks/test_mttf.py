@@ -1,0 +1,5 @@
+"""Regenerate the MTTF extension experiment (repro.harness.figures.mttf)."""
+
+
+def test_mttf(regenerate):
+    regenerate("mttf")

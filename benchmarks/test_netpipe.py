@@ -1,0 +1,5 @@
+"""Regenerate the paper's netpipe experiment (see repro.harness.figures.netpipe)."""
+
+
+def test_netpipe(regenerate):
+    regenerate("netpipe")

@@ -1,0 +1,5 @@
+"""Regenerate the paper's scale_limit experiment (see repro.harness.figures.scale_limit)."""
+
+
+def test_scale_limit(regenerate):
+    regenerate("scale_limit")

@@ -1,0 +1,93 @@
+"""Micro-benchmarks of the simulation substrate itself.
+
+These are conventional multi-round pytest benchmarks (not figure
+regenerations): they track the event-loop, network and MPI message rates
+that determine how large a reproduction profile is affordable.
+"""
+
+from repro.mpi import FtSockChannel, MPIJob
+from repro.net import ClusterNetwork
+from repro.sim import Simulator
+
+
+def test_event_loop_throughput(benchmark):
+    """Raw timeout churn through the event heap."""
+
+    def run():
+        sim = Simulator()
+
+        def ticker():
+            for _ in range(2000):
+                yield sim.timeout(0.001)
+
+        for _ in range(8):
+            sim.process(ticker())
+        sim.run()
+        return sim.now
+
+    assert benchmark(run) > 0
+
+
+def test_p2p_message_rate(benchmark):
+    """Messages per second through the full channel + network stack."""
+
+    def run():
+        sim = Simulator()
+        net = ClusterNetwork(sim, n_nodes=2)
+
+        def app(ctx):
+            if ctx.rank == 0:
+                for i in range(2000):
+                    yield from ctx.send(1, tag=1, data=None, nbytes=1024)
+            else:
+                for i in range(2000):
+                    yield from ctx.recv(0, tag=1)
+
+        job = MPIJob(sim, net, net.place(2), app, FtSockChannel)
+        job.start()
+        sim.run_until_complete(job.completed)
+        return sim.now
+
+    assert benchmark(run) > 0
+
+
+def test_collective_rate(benchmark):
+    """Allreduce rounds on 16 ranks."""
+
+    def run():
+        sim = Simulator()
+        net = ClusterNetwork(sim, n_nodes=16)
+
+        def app(ctx):
+            for _ in range(50):
+                yield from ctx.allreduce(1, lambda a, b: a + b, nbytes=8)
+
+        job = MPIJob(sim, net, net.place(16), app, FtSockChannel)
+        job.start()
+        sim.run_until_complete(job.completed)
+        return sim.now
+
+    assert benchmark(run) > 0
+
+
+def test_fluid_flow_contention(benchmark):
+    """Flow add/remove churn on a shared link."""
+    from repro.net.flows import FlowScheduler
+    from repro.net.link import Link
+
+    def run():
+        sim = Simulator()
+        scheduler = FlowScheduler(sim)
+        link = Link("l", 1e9)
+
+        def churner():
+            for _ in range(500):
+                flow = scheduler.start([link], 1e6)
+                yield flow.done
+
+        for _ in range(8):
+            sim.process(churner())
+        sim.run()
+        return sim.now
+
+    assert benchmark(run) > 0

@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Blocking vs non-blocking checkpointing on a commodity cluster.
+
+A miniature of the paper's Sec. 5.2 study: BT class B on a Gigabit-Ethernet
+cluster, sweeping the checkpoint period for both protocols and comparing
+against checkpoint-free baselines of both MPI implementations.  Prints the
+overhead table and the qualitative conclusions.
+
+Run:  python examples/cluster_checkpoint_study.py [n_procs]
+"""
+
+import sys
+
+from repro.apps import BT
+from repro.harness import execute, get_profile
+
+
+def main() -> None:
+    n_procs = int(sys.argv[1]) if len(sys.argv) > 1 else 16
+    profile = get_profile("quick")
+    bench = BT(klass="B", scale=profile.time_scale)
+    periods = (10.0, 30.0, 120.0)
+
+    print(f"workload: {bench.describe(n_procs)} on GigE, 2 ckpt servers")
+    print(f"{'config':<24}{'time [s]':>10}{'waves':>7}{'overhead':>10}")
+    print("-" * 51)
+
+    baselines = {}
+    for channel, label in (("ft_sock", "mpich2 (no ckpt)"),
+                           ("ch_v", "mpich-v (no ckpt)")):
+        result = execute(bench, n_procs, None, profile, channel=channel,
+                         n_servers=2, name=f"study-base-{channel}")
+        baselines[channel] = result.completion
+        print(f"{label:<24}{result.completion:>10.2f}{'-':>7}{'-':>10}")
+
+    for protocol in ("pcl", "vcl"):
+        base = baselines["ft_sock" if protocol == "pcl" else "ch_v"]
+        for period in periods:
+            result = execute(bench, n_procs, protocol, profile, n_servers=2,
+                             period=period, name=f"study-{protocol}-{period}")
+            overhead = 100.0 * (result.completion - base) / base
+            label = f"{protocol} @ {period:g}s"
+            print(f"{label:<24}{result.completion:>10.2f}"
+                  f"{result.waves:>7}{overhead:>9.1f}%")
+
+    print()
+    print("expected shape (paper Sec. 5.2): pcl degrades sharply at the")
+    print("shortest period; at long periods both protocols cost only a")
+    print("small constant overhead.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Large-scale grid deployment on the Grid'5000 model.
+
+A miniature of the paper's Sec. 5.4: first measure the platform with the
+NetPIPE probe (intra- vs inter-cluster), then run BT class B across several
+sites under Pcl with site-local checkpoint servers, and show why Vcl cannot
+be launched at this scale at all (the dispatcher's select() wall).
+
+Run:  python examples/grid_deployment.py
+"""
+
+from repro.apps import BT
+from repro.harness import execute, get_profile
+from repro.net import grid5000
+from repro.net.topology import Endpoint
+from repro.runtime import Dispatcher, ScaleLimitError
+from repro.sim import Simulator
+from repro.tools import run_netpipe, summarize
+
+
+def main() -> None:
+    profile = get_profile("quick")
+
+    # --- 1. platform measurement ------------------------------------------
+    sim = Simulator(seed=1)
+    grid = grid5000(sim)
+    orsay = grid.clusters["orsay"].nodes
+    rennes = grid.clusters["rennes"].nodes
+    intra = summarize(run_netpipe(sim, grid, Endpoint(orsay[0], 0),
+                                  Endpoint(orsay[1], 0), sizes=[8, 1 << 20]))
+    inter = summarize(run_netpipe(sim, grid, Endpoint(orsay[2], 0),
+                                  Endpoint(rennes[0], 0), sizes=[8, 1 << 20]))
+    print("NetPIPE on the Grid'5000 model:")
+    print(f"  intra-cluster: {intra['latency'] * 1e6:7.1f} us latency, "
+          f"{intra['bandwidth'] / 1e6:6.1f} MB/s")
+    print(f"  inter-cluster: {inter['latency'] * 1e6:7.1f} us latency, "
+          f"{inter['bandwidth'] / 1e6:6.1f} MB/s")
+    print(f"  ratios: {inter['latency'] / intra['latency']:.0f}x latency, "
+          f"{intra['bandwidth'] / inter['bandwidth']:.0f}x bandwidth "
+          "(paper: ~100x and ~20x)\n")
+
+    # --- 2. why the grid runs are Pcl-only --------------------------------
+    n_procs = 144
+    try:
+        Dispatcher().validate(400)
+    except ScaleLimitError as error:
+        print(f"Vcl at 400 processes: REFUSED - {error}\n")
+
+    # --- 3. the Pcl grid run ----------------------------------------------
+    bench = BT(klass="B", scale=profile.time_scale)
+    base = execute(bench, n_procs, None, profile, network="grid5000",
+                   n_servers=4, name="grid-base")
+    ckpt = execute(bench, n_procs, "pcl", profile, network="grid5000",
+                   n_servers=4, period=60.0, name="grid-ckpt")
+    print(f"BT.B at {n_procs} processes across Grid'5000 sites:")
+    print(f"  no checkpoints : {base.completion:8.2f} s")
+    print(f"  pcl @ 60s      : {ckpt.completion:8.2f} s "
+          f"({ckpt.waves} waves, "
+          f"+{100 * (ckpt.completion / base.completion - 1):.1f}%)")
+
+
+if __name__ == "__main__":
+    main()

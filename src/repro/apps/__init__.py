@@ -1,0 +1,38 @@
+"""Application workloads: NAS Parallel Benchmark skeletons + synthetic kernels.
+
+``BENCHMARKS`` maps lowercase names to classes, mirroring NPB 2.3's kernels
+used by the paper (BT and CG carry the evaluation; LU, MG and FT are
+included for the extension studies).
+"""
+
+from repro.apps.base import NASBenchmark, NASClassSpec, isqrt_exact
+from repro.apps.bt import BT
+from repro.apps.cg import CG
+from repro.apps.ftb import FTBench
+from repro.apps.lu import LU
+from repro.apps.mg import MG
+from repro.apps.synthetic import burst, halo_2d, ping_pong, token_ring
+
+BENCHMARKS = {
+    "bt": BT,
+    "cg": CG,
+    "ft": FTBench,
+    "lu": LU,
+    "mg": MG,
+}
+
+__all__ = [
+    "BENCHMARKS",
+    "BT",
+    "CG",
+    "FTBench",
+    "LU",
+    "MG",
+    "NASBenchmark",
+    "NASClassSpec",
+    "burst",
+    "halo_2d",
+    "isqrt_exact",
+    "ping_pong",
+    "token_ring",
+]

@@ -1,0 +1,114 @@
+"""NAS Parallel Benchmark skeletons: common machinery.
+
+The paper evaluates with NPB 2.3 (Sec. 5.1) because its kernels "exhibit
+classical communication patterns which are significant for the performance
+evaluation of fault tolerant implementations".  What the checkpointing
+protocols interact with is exactly that: the *communication pattern* (who
+talks to whom, how often, with what message sizes, in what bursts) and the
+*memory footprint* (which sets the checkpoint image size).  The skeletons
+here reproduce those two properties per benchmark and class; the numerical
+kernels themselves are replaced by calibrated compute delays (see DESIGN.md,
+substitutions table).
+
+Calibration: ``serial_seconds`` approximates the single-processor running
+time of each class on the paper's 2 GHz Opteron nodes; per-iteration
+per-process compute is ``serial_seconds / iterations / p``, with a small
+deterministic per-rank jitter.  Absolute times therefore land in the right
+ballpark (BT.B/64 ≈ a few hundred seconds), and — more importantly — the
+compute/communication ratio that drives every figure's *shape* is faithful.
+
+``scale`` uniformly reduces the iteration count (the harness's quick mode);
+it shortens runs without touching per-iteration behaviour, so protocol
+overheads per wave are unchanged.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from repro.ft.image import RUNTIME_IMAGE_OVERHEAD_BYTES
+
+__all__ = ["NASClassSpec", "NASBenchmark", "isqrt_exact"]
+
+
+@dataclass(frozen=True)
+class NASClassSpec:
+    """One (benchmark, class) problem instance."""
+
+    name: str  # "A" | "B" | "C"
+    problem_size: int  # grid points per dimension / vector length
+    iterations: int
+    serial_seconds: float  # approximate single-CPU running time
+    memory_bytes: float  # total working set across all ranks
+
+
+class NASBenchmark:
+    """Base class for benchmark skeletons.
+
+    Subclasses define ``CLASSES``, :meth:`validate_procs` and
+    :meth:`make_app`.
+    """
+
+    name = "nas"
+    CLASSES: Dict[str, NASClassSpec] = {}
+
+    def __init__(self, klass: str = "B", scale: float = 1.0,
+                 compute_jitter: float = 0.02) -> None:
+        if klass not in self.CLASSES:
+            raise ValueError(
+                f"{self.name}: unknown class {klass!r} "
+                f"(have {sorted(self.CLASSES)})"
+            )
+        if not (0.0 < scale <= 1.0):
+            raise ValueError("scale must be in (0, 1]")
+        self.klass = self.CLASSES[klass]
+        self.scale = scale
+        self.compute_jitter = compute_jitter
+
+    # ------------------------------------------------------------ geometry
+    def validate_procs(self, p: int) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def iterations(self) -> int:
+        return max(1, round(self.klass.iterations * self.scale))
+
+    # --------------------------------------------------------------- costs
+    def compute_seconds_per_iteration(self, p: int) -> float:
+        """Per-process compute time of one iteration at ``p`` processes."""
+        return self.klass.serial_seconds / self.klass.iterations / p
+
+    def image_bytes(self, p: int) -> float:
+        """BLCR-style image size per rank: app memory share + runtime."""
+        return self.klass.memory_bytes / p + RUNTIME_IMAGE_OVERHEAD_BYTES
+
+    def expected_time(self, p: int) -> float:
+        """Compute-only lower bound for the scaled run (no communication)."""
+        return self.iterations() * self.compute_seconds_per_iteration(p)
+
+    def _jitter(self, ctx) -> float:
+        """Deterministic per-rank compute-speed perturbation (±jitter)."""
+        if self.compute_jitter <= 0:
+            return 1.0
+        rng = ctx.sim.rng.stream(f"{self.name}.jitter.r{ctx.rank}")
+        return float(1.0 + rng.uniform(-self.compute_jitter, self.compute_jitter))
+
+    # ------------------------------------------------------------- factory
+    def make_app(self, p: int) -> Callable:  # pragma: no cover - abstract
+        """Return an app factory (``ctx -> generator``) for ``p`` ranks."""
+        raise NotImplementedError
+
+    def describe(self, p: int) -> str:
+        return (
+            f"{self.name}.{self.klass.name} p={p} iters={self.iterations()} "
+            f"image={self.image_bytes(p) / 1e6:.1f}MB/rank"
+        )
+
+
+def isqrt_exact(p: int) -> int:
+    """Integer square root, raising unless ``p`` is a perfect square."""
+    root = math.isqrt(p)
+    if root * root != p:
+        raise ValueError(f"{p} is not a perfect square")
+    return root

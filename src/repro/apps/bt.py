@@ -1,0 +1,99 @@
+"""BT — Block Tridiagonal solver skeleton.
+
+NPB's BT uses the *multi-partition* decomposition on a q x q process grid
+(p must be a perfect square).  Each timestep computes the right-hand sides
+and then performs three alternating-direction implicit (ADI) sweeps; every
+sweep moves 5x5-block boundary faces between neighbours in the process grid.
+The communication is therefore medium-size nearest-neighbour messages in
+bursts, three bursts per iteration — the "complex communication schemes
+among all the nodes" the paper uses as a stress test (Sec. 5.4).
+
+The skeleton compresses each sweep's software pipeline into one bidirectional
+exchange per direction of the aggregate face volume (the bytes moved per
+iteration per neighbour are preserved; the sub-stage pipelining is not, which
+only smooths sub-iteration timing).  The three directions map onto the
+process grid as row neighbours, column neighbours and (for the z sweep)
+diagonal neighbours, all cyclic.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.apps.base import NASBenchmark, NASClassSpec, isqrt_exact
+
+__all__ = ["BT"]
+
+#: doubles per face cell and sweep stage: the ADI solve communicates in both
+#: the forward-elimination and back-substitution passes, each shipping a
+#: fused 5x5 block plus the 5-vector RHS per boundary cell
+_FACE_DOUBLES = 160
+
+
+class BT(NASBenchmark):
+    """The BT benchmark skeleton."""
+
+    name = "bt"
+    CLASSES = {
+        "A": NASClassSpec("A", 64, 200, 1700.0, 0.3e9),
+        "B": NASClassSpec("B", 102, 200, 7200.0, 1.2e9),
+        "C": NASClassSpec("C", 162, 200, 29000.0, 5.0e9),
+    }
+
+    def validate_procs(self, p: int) -> None:
+        isqrt_exact(p)
+
+    def face_bytes(self, p: int) -> float:
+        """Bytes exchanged with one neighbour in one sweep direction.
+
+        The multi-partition sweep runs q pipeline stages, each moving one
+        sub-block boundary face; the aggregate per-direction volume is
+        therefore the face area times the stage count.
+        """
+        q = isqrt_exact(p)
+        cells_per_face = (self.klass.problem_size / q) ** 2
+        return _FACE_DOUBLES * 8.0 * cells_per_face * q
+
+    def make_app(self, p: int) -> Callable:
+        self.validate_procs(p)
+        q = isqrt_exact(p)
+        n_iters = self.iterations()
+        face = self.face_bytes(p)
+        compute = self.compute_seconds_per_iteration(p)
+        # compute splits: ~40% rhs, ~20% per sweep
+        rhs_fraction = 0.4
+        sweep_fraction = 0.2
+
+        def app(ctx):
+            jitter = self._jitter(ctx)
+            row, col = divmod(ctx.rank, q)
+
+            def grid_rank(r, c):
+                return (r % q) * q + (c % q)
+
+            # neighbour pairs (forward, backward) per sweep direction
+            directions = (
+                (grid_rank(row, col + 1), grid_rank(row, col - 1)),  # x
+                (grid_rank(row + 1, col), grid_rank(row - 1, col)),  # y
+                (grid_rank(row + 1, col + 1), grid_rank(row - 1, col - 1)),  # z
+            )
+            for iteration in range(n_iters):
+                yield from ctx.compute(compute * rhs_fraction * jitter)
+                for d, (fwd, bwd) in enumerate(directions):
+                    tag = 100 + d
+                    if fwd == ctx.rank:  # q == 1: no neighbours
+                        yield from ctx.compute(compute * sweep_fraction * jitter)
+                        continue
+                    forward = ctx.isend(fwd, tag, None, face)
+                    backward = ctx.isend(bwd, tag, None, face)
+                    yield from ctx.recv(bwd, tag)
+                    yield from ctx.recv(fwd, tag)
+                    yield from forward.wait()
+                    yield from backward.wait()
+                    yield from ctx.compute(compute * sweep_fraction * jitter)
+                ctx.update(lambda s, i=iteration: s.__setitem__("iteration", i + 1))
+            # verification phase: residual norm across all ranks
+            norm = yield from ctx.allreduce(1, lambda a, b: a + b, nbytes=40)
+            ctx.update(lambda s, n=norm: s.__setitem__("norm", n))
+
+        return app

@@ -1,0 +1,106 @@
+"""CG — Conjugate Gradient skeleton.
+
+NPB's CG estimates the largest eigenvalue of a sparse matrix with a power
+iteration: ``niter`` outer iterations, each running 25 inner conjugate-
+gradient steps.  The process grid is ``nprows x npcols`` (p must be a power
+of two).  Every inner step performs:
+
+* two dot products — recursive-halving reductions along each *row* of the
+  process grid (tiny 8-byte messages, pure latency), and
+* the matrix-vector product's vector exchange with the *transpose* partner
+  (the local vector slice, a medium message).
+
+CG is therefore "a benchmark with a lot of small communications, and ...
+latency-bound" (Sec. 5.3): the paper uses it on Myrinet to expose the Vcl
+daemon's per-message cost, and it is the workload of Figs. 7 and 8.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Tuple
+
+from repro.apps.base import NASBenchmark, NASClassSpec
+
+__all__ = ["CG"]
+
+#: inner conjugate-gradient steps per outer (power-method) iteration
+INNER_STEPS = 25
+
+
+def _grid_shape(p: int) -> Tuple[int, int]:
+    """NPB's CG grid: npcols x nprows with npcols >= nprows, both powers
+    of 2 (npcols = 2*nprows when log2(p) is odd)."""
+    log = p.bit_length() - 1
+    if p <= 0 or (1 << log) != p:
+        raise ValueError(f"CG needs a power-of-two process count, got {p}")
+    nprows = 1 << (log // 2)
+    npcols = p // nprows
+    return nprows, npcols
+
+
+class CG(NASBenchmark):
+    """The CG benchmark skeleton."""
+
+    name = "cg"
+    # serial_seconds reflect the memory-bound sparse kernel (~0.5 Gflop/s
+    # effective on a 2 GHz Opteron), which is what makes CG latency-bound at
+    # scale: per-step compute shrinks to tens of milliseconds at p=64 while
+    # the synchronization chains stay.
+    CLASSES = {
+        "A": NASClassSpec("A", 14_000, 15, 60.0, 0.06e9),
+        "B": NASClassSpec("B", 75_000, 75, 1700.0, 0.5e9),
+        "C": NASClassSpec("C", 150_000, 75, 4500.0, 1.1e9),
+    }
+
+    def validate_procs(self, p: int) -> None:
+        _grid_shape(p)
+
+    def exchange_bytes(self, p: int) -> float:
+        """The transpose vector exchange: a row-block of the vector in
+        doubles (N/nprows entries, as in the real benchmark)."""
+        nprows, _npcols = _grid_shape(p)
+        return 8.0 * self.klass.problem_size / max(1, nprows)
+
+    def make_app(self, p: int) -> Callable:
+        nprows, npcols = _grid_shape(p)
+        n_iters = self.iterations()
+        exchange = self.exchange_bytes(p)
+        compute = self.compute_seconds_per_iteration(p) / INNER_STEPS
+
+        def app(ctx):
+            jitter = self._jitter(ctx)
+            row, col = divmod(ctx.rank, npcols)
+            # Transpose partner.  Square grid: true coordinate transpose
+            # (diagonal processes exchange with themselves — no message, as
+            # in real CG).  Rectangular grid: a fixed-mask pairing, which is
+            # an involution by construction so the pairwise exchange can
+            # never deadlock; byte volume matches the real exchange.
+            if nprows == npcols:
+                partner = col * npcols + row
+            else:
+                partner = ctx.rank ^ (p >> 1)
+            for iteration in range(n_iters):
+                for step in range(INNER_STEPS):
+                    yield from ctx.compute(compute * jitter)
+                    # two dot products: recursive halving along the row
+                    for dot in range(2):
+                        tag = 200 + dot
+                        span = 1
+                        while span < npcols:
+                            peer_col = col ^ span
+                            if peer_col < npcols:
+                                peer = row * npcols + peer_col
+                                request = ctx.isend(peer, tag, None, 8.0)
+                                yield from ctx.recv(peer, tag)
+                                yield from request.wait()
+                            span <<= 1
+                    # matrix-vector transpose exchange
+                    if partner != ctx.rank:
+                        request = ctx.isend(partner, 210, None, exchange)
+                        yield from ctx.recv(partner, 210)
+                        yield from request.wait()
+                ctx.update(lambda s, i=iteration: s.__setitem__("iteration", i + 1))
+            zeta = yield from ctx.allreduce(1, lambda a, b: a + b, nbytes=8)
+            ctx.update(lambda s, z=zeta: s.__setitem__("zeta", z))
+
+        return app

@@ -1,0 +1,60 @@
+"""FT — 3D FFT kernel skeleton (named ``ftb`` to avoid clashing with
+:mod:`repro.ft`, the fault-tolerance package).
+
+NPB's FT computes a 3D FFT each iteration; with a 1D ("slab") decomposition
+the distributed transpose is a global all-to-all in which every process
+sends ``N^3 * 16 / p^2`` bytes (complex doubles) to every other process.
+It is the most bandwidth-hungry NPB pattern, useful for exercising the
+protocols against bursts that saturate every NIC at once.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.apps.base import NASBenchmark, NASClassSpec
+
+__all__ = ["FTBench"]
+
+
+class FTBench(NASBenchmark):
+    """The FT benchmark skeleton."""
+
+    name = "ft"
+    CLASSES = {
+        # problem_size is the cube edge of the (x*y*z) grid, iterations = Nt
+        "A": NASClassSpec("A", 256, 6, 85.0, 5e9),
+        "B": NASClassSpec("B", 512, 20, 900.0, 27e9),
+        "C": NASClassSpec("C", 512, 20, 3600.0, 54e9),
+    }
+
+    def validate_procs(self, p: int) -> None:
+        if p < 1 or (p & (p - 1)) != 0:
+            raise ValueError(f"FT needs a power-of-two process count, got {p}")
+
+    def alltoall_bytes_each(self, p: int) -> float:
+        """Bytes sent to each peer in the distributed transpose."""
+        n = self.klass.problem_size
+        return 16.0 * (n ** 3) / (p * p) / 64.0  # /64: slab depth factor
+
+    def make_app(self, p: int) -> Callable:
+        self.validate_procs(p)
+        n_iters = self.iterations()
+        chunk = self.alltoall_bytes_each(p)
+        compute = self.compute_seconds_per_iteration(p)
+
+        def app(ctx):
+            jitter = self._jitter(ctx)
+            for iteration in range(n_iters):
+                yield from ctx.compute(compute * 0.7 * jitter)
+                if ctx.size > 1:
+                    yield from ctx.alltoall([None] * ctx.size, nbytes_each=chunk)
+                yield from ctx.compute(compute * 0.3 * jitter)
+                checksum = yield from ctx.allreduce(1.0, lambda a, b: a + b,
+                                                    nbytes=16)
+                ctx.update(lambda s, i=iteration, c=checksum: (
+                    s.__setitem__("iteration", i + 1),
+                    s.__setitem__("checksum", c),
+                ))
+
+        return app

@@ -1,0 +1,79 @@
+"""LU — Lower-Upper Gauss-Seidel solver skeleton.
+
+NPB's LU decomposes the domain over a 2D process grid and performs SSOR
+sweeps with a *wavefront* dependency: in the lower-triangular sweep each
+process waits for thin pencil messages from its north and west neighbours
+before computing its block and forwarding to south and east; the upper
+sweep runs the opposite diagonal.  The result is a long chain of small
+latency-sensitive messages — the least forgiving pattern for a protocol
+that freezes channels mid-iteration.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.apps.base import NASBenchmark, NASClassSpec, isqrt_exact
+
+__all__ = ["LU"]
+
+
+class LU(NASBenchmark):
+    """The LU benchmark skeleton."""
+
+    name = "lu"
+    CLASSES = {
+        "A": NASClassSpec("A", 64, 250, 1500.0, 0.25e9),
+        "B": NASClassSpec("B", 102, 250, 6300.0, 1.0e9),
+        "C": NASClassSpec("C", 162, 250, 25000.0, 4.2e9),
+    }
+
+    def validate_procs(self, p: int) -> None:
+        isqrt_exact(p)
+
+    def pencil_bytes(self, p: int) -> float:
+        """One wavefront pencil: a line of 5-vectors along the block edge."""
+        q = isqrt_exact(p)
+        return 5 * 8.0 * (self.klass.problem_size / q)
+
+    def make_app(self, p: int) -> Callable:
+        self.validate_procs(p)
+        q = isqrt_exact(p)
+        n_iters = self.iterations()
+        pencil = self.pencil_bytes(p)
+        compute = self.compute_seconds_per_iteration(p)
+
+        def app(ctx):
+            jitter = self._jitter(ctx)
+            row, col = divmod(ctx.rank, q)
+            north = (row - 1) * q + col if row > 0 else None
+            south = (row + 1) * q + col if row < q - 1 else None
+            west = row * q + (col - 1) if col > 0 else None
+            east = row * q + (col + 1) if col < q - 1 else None
+
+            for iteration in range(n_iters):
+                # lower sweep: NW -> SE wavefront
+                if north is not None:
+                    yield from ctx.recv(north, 300)
+                if west is not None:
+                    yield from ctx.recv(west, 301)
+                yield from ctx.compute(compute * 0.5 * jitter)
+                if south is not None:
+                    yield from ctx.send(south, 300, None, pencil)
+                if east is not None:
+                    yield from ctx.send(east, 301, None, pencil)
+                # upper sweep: SE -> NW wavefront
+                if south is not None:
+                    yield from ctx.recv(south, 302)
+                if east is not None:
+                    yield from ctx.recv(east, 303)
+                yield from ctx.compute(compute * 0.5 * jitter)
+                if north is not None:
+                    yield from ctx.send(north, 302, None, pencil)
+                if west is not None:
+                    yield from ctx.send(west, 303, None, pencil)
+                ctx.update(lambda s, i=iteration: s.__setitem__("iteration", i + 1))
+            residual = yield from ctx.allreduce(1, lambda a, b: a + b, nbytes=40)
+            ctx.update(lambda s, r=residual: s.__setitem__("residual", r))
+
+        return app

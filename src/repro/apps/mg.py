@@ -1,0 +1,101 @@
+"""MG — MultiGrid V-cycle skeleton.
+
+NPB's MG performs V-cycles over a hierarchy of grids: halo exchanges with
+the six 3D neighbours at every level, with message sizes shrinking by 4x per
+coarsening step, plus one global reduction per iteration for the residual
+norm.  The pattern stresses a checkpoint protocol with *mixed* message sizes
+— large halos at the fine level, latency-bound slivers at the coarse levels.
+
+The skeleton maps the 3D neighbour structure onto a 2D process grid (the
+four grid neighbours standing in for the six spatial ones, with the halo
+volume preserved) and walks the level hierarchy down and back up each
+iteration.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+from repro.apps.base import NASBenchmark, NASClassSpec, isqrt_exact
+
+__all__ = ["MG"]
+
+
+class MG(NASBenchmark):
+    """The MG benchmark skeleton."""
+
+    name = "mg"
+    CLASSES = {
+        "A": NASClassSpec("A", 256, 4, 45.0, 3.5e9),
+        "B": NASClassSpec("B", 256, 20, 220.0, 3.5e9),
+        "C": NASClassSpec("C", 512, 20, 1800.0, 27e9),
+    }
+
+    def validate_procs(self, p: int) -> None:
+        isqrt_exact(p)
+
+    def levels(self, p: int) -> int:
+        q = isqrt_exact(p)
+        local = max(2, self.klass.problem_size // q)
+        return max(1, int(math.log2(local)) - 1)
+
+    def halo_bytes(self, p: int, level: int) -> float:
+        """A face halo at ``level`` (0 = finest); area shrinks 4x per level."""
+        q = isqrt_exact(p)
+        face = (self.klass.problem_size / q) ** 2
+        return max(64.0, 8.0 * face / (4 ** level))
+
+    def make_app(self, p: int) -> Callable:
+        self.validate_procs(p)
+        q = isqrt_exact(p)
+        n_iters = self.iterations()
+        n_levels = self.levels(p)
+        compute = self.compute_seconds_per_iteration(p)
+        # fine level dominates compute: split geometrically over levels
+        level_compute = [
+            compute * (0.75 ** level) * 0.25 for level in range(n_levels)
+        ]
+
+        def app(ctx):
+            jitter = self._jitter(ctx)
+            row, col = divmod(ctx.rank, q)
+
+            def halo_exchange(level):
+                size = self.halo_bytes(p, level)
+                tag = 400 + level
+                if q == 1:
+                    return
+                fwd = (row % q) * q + (col + 1) % q
+                bwd = (row % q) * q + (col - 1) % q
+                up = ((row + 1) % q) * q + col
+                down = ((row - 1) % q) * q + col
+                requests = [
+                    ctx.isend(fwd, tag, None, size),
+                    ctx.isend(bwd, tag, None, size),
+                    ctx.isend(up, tag + 100, None, size),
+                    ctx.isend(down, tag + 100, None, size),
+                ]
+                yield from ctx.recv(bwd, tag)
+                yield from ctx.recv(fwd, tag)
+                yield from ctx.recv(down, tag + 100)
+                yield from ctx.recv(up, tag + 100)
+                for request in requests:
+                    yield from request.wait()
+
+            for iteration in range(n_iters):
+                # down the V: restrict
+                for level in range(n_levels):
+                    yield from ctx.compute(level_compute[level] * jitter)
+                    yield from halo_exchange(level)
+                # up the V: prolongate
+                for level in range(n_levels - 1, -1, -1):
+                    yield from ctx.compute(level_compute[level] * jitter)
+                    yield from halo_exchange(level)
+                norm = yield from ctx.allreduce(1.0, lambda a, b: a + b, nbytes=8)
+                ctx.update(lambda s, i=iteration, n=norm: (
+                    s.__setitem__("iteration", i + 1),
+                    s.__setitem__("norm", n),
+                ))
+
+        return app

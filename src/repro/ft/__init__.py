@@ -1,0 +1,44 @@
+"""Fault tolerance: the paper's two coordinated checkpointing protocols.
+
+* :class:`~repro.ft.vcl.VclProtocol` — non-blocking Chandy–Lamport snapshots
+  with daemon-side message logging (MPICH-Vcl, Sec. 3/4.1).
+* :class:`~repro.ft.pcl.PclProtocol` — blocking channel-flushing checkpoints
+  (MPICH2-Pcl, Sec. 3/4.2).
+* :class:`~repro.ft.server.CheckpointServer` — shared image storage machinery.
+* :class:`~repro.ft.recovery.FTRun` — kill / rollback / restart orchestration.
+* :class:`~repro.ft.failure.FailureInjector` — task and node failures.
+"""
+
+from repro.ft.failure import FailureInjector
+from repro.ft.image import CheckpointImage, FORK_LATENCY, RUNTIME_IMAGE_OVERHEAD_BYTES
+from repro.ft.pcl import PclEndpoint, PclProtocol
+from repro.ft.protocol import (
+    BaseEndpoint,
+    BaseProtocol,
+    FTStats,
+    LocalImageStore,
+    SCHEDULER_ID,
+)
+from repro.ft.recovery import FTRun, InstantLauncher
+from repro.ft.server import CheckpointServer, assign_servers
+from repro.ft.vcl import VclEndpoint, VclProtocol
+
+__all__ = [
+    "BaseEndpoint",
+    "BaseProtocol",
+    "CheckpointImage",
+    "CheckpointServer",
+    "FailureInjector",
+    "FORK_LATENCY",
+    "FTRun",
+    "FTStats",
+    "InstantLauncher",
+    "LocalImageStore",
+    "PclEndpoint",
+    "PclProtocol",
+    "RUNTIME_IMAGE_OVERHEAD_BYTES",
+    "SCHEDULER_ID",
+    "VclEndpoint",
+    "VclProtocol",
+    "assign_servers",
+]

@@ -1,0 +1,76 @@
+"""Failure injection.
+
+The paper emulates failures by killing the MPI *task*, not the operating
+system (Sec. 4.1): the TCP connections break as soon as the task dies, so
+detection is immediate, and the machine — including the local checkpoint
+file on its disk — survives.  :meth:`FailureInjector.kill_task` reproduces
+that.  :meth:`FailureInjector.kill_node` additionally takes the machine (and
+its local images) down, for the spare-node recovery path.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = ["FailureInjector"]
+
+
+class FailureInjector:
+    """Schedules and executes process/node failures."""
+
+    def __init__(self, sim: "Simulator", net: "BaseNetwork",
+                 local_images: Optional["LocalImageStore"] = None) -> None:
+        self.sim = sim
+        self.net = net
+        self.local_images = local_images
+        self.kills: list = []
+
+    # ------------------------------------------------------------ immediate
+    def kill_task(self, job: "MPIJob", rank: int) -> None:
+        """Kill one MPI process now.  Its sockets close; peers notice."""
+        if job.killed or not (0 <= rank < job.size):
+            return
+        self.sim.trace.record(self.sim.now, "ft.failure", kind="task", rank=rank)
+        self.kills.append((self.sim.now, "task", rank))
+        channel = job.channels[rank]
+        endpoint_protocol = channel.protocol
+        channel.shutdown()  # breaks every socket of this task
+        if endpoint_protocol is not None:
+            server_end = getattr(endpoint_protocol, "_server_end", None)
+            if server_end is not None:
+                server_end.connection.break_()
+            endpoint_protocol.detach()
+        job.app_processes[rank].interrupt("task killed")
+        # The runtime (dispatcher / process manager) holds a monitoring
+        # socket to every process from launch, so the death is detected
+        # even if no peer ever connected to this rank (Sec. 4.1: "failure
+        # detection was immediate").
+        job.notify_socket_closed(rank, None)
+
+    def kill_node(self, job: "MPIJob", rank: int) -> None:
+        """Kill the whole machine hosting ``rank`` (disk contents lost)."""
+        if job.killed or not (0 <= rank < job.size):
+            return
+        node = job.endpoints[rank].node
+        self.sim.trace.record(self.sim.now, "ft.failure", kind="node", node=node.name)
+        self.kills.append((self.sim.now, "node", rank))
+        if self.local_images is not None:
+            self.local_images.drop_node(node.name)
+        # every rank on that node dies
+        for r, endpoint in enumerate(job.endpoints):
+            if endpoint.node is node:
+                self.kill_task(job, r)
+        self.net.fail_node(node)
+
+    # ------------------------------------------------------------- scheduled
+    def schedule_task_kill(self, job: "MPIJob", rank: int, at: float) -> None:
+        delay = at - self.sim.now
+        if delay < 0:
+            raise ValueError(f"kill time {at} is in the past")
+        self.sim.call_at(delay, self.kill_task, job, rank)
+
+    def schedule_node_kill(self, job: "MPIJob", rank: int, at: float) -> None:
+        delay = at - self.sim.now
+        if delay < 0:
+            raise ValueError(f"kill time {at} is in the past")
+        self.sim.call_at(delay, self.kill_node, job, rank)

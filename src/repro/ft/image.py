@@ -1,0 +1,47 @@
+"""Checkpoint images and cost constants.
+
+The paper uses system-level checkpointing (BLCR by default): the image is the
+whole process — memory map, kernel state, registers — so its size is directly
+proportional to the memory allocated, and "few optimizations can be used to
+reduce this size" (Sec. 4.1).  Taking the image starts with a ``fork``: the
+clone writes the image while the original continues computing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional
+
+from repro.mpi.context import Snapshot
+from repro.mpi.message import AppPacket
+
+__all__ = ["CheckpointImage", "FORK_LATENCY", "RUNTIME_IMAGE_OVERHEAD_BYTES"]
+
+#: pause caused by fork() + copy-on-write page-table duplication (tens of
+#: milliseconds for a tens-of-MB image); charged to the application's
+#: compute via RankContext.add_stall — this is the "delay induced by the
+#: checkpoint corresponds only to the local checkpointing" of Sec. 2
+FORK_LATENCY = 0.02
+
+#: image bytes beyond the application data: code, libraries, runtime buffers
+RUNTIME_IMAGE_OVERHEAD_BYTES = 24e6
+
+
+@dataclass
+class CheckpointImage:
+    """One rank's stored checkpoint for one wave."""
+
+    rank: int
+    wave: int
+    nbytes: float
+    snapshot: Snapshot
+    #: Vcl only: in-transit messages logged for this rank during the wave,
+    #: replayed by the daemon at restart
+    logged_messages: List[AppPacket] = field(default_factory=list)
+    logged_bytes: float = 0.0
+    #: simulated time at which the image was fully stored
+    stored_at: Optional[float] = None
+
+    @property
+    def total_bytes(self) -> float:
+        return self.nbytes + self.logged_bytes

@@ -1,0 +1,188 @@
+"""Pcl: the blocking coordinated checkpointing protocol (Sec. 3, Fig. 2).
+
+Wave life cycle, exactly as the paper describes it:
+
+1. The MPI process of rank 0 starts a wave after ``period`` seconds have
+   elapsed since the previous wave's images were all stored; it moves to the
+   ``checkpointing`` state and sends markers to every other process.
+2. On its first marker, a process enters ``checkpointing`` and sends markers
+   to every other process.  After *sending* a marker on a channel, it sends
+   no further application message on that channel until its checkpoint
+   (send gates / the Nemesis stopper request); after *receiving* a marker on
+   a channel, application receptions from it are delayed until the end of
+   the local checkpoint (receive freezing with a delayed queue).
+3. Once a process holds markers from every other process, the channels are
+   flushed: it takes its snapshot (no channel state needs saving), forks,
+   and — after the fork pause — reopens its gates, delivers its delayed
+   queue and resumes computing while the clone streams the image to the
+   checkpoint server concurrently with the resumed application traffic
+   (this contention is the Fig. 5 effect).
+4. When a process's image is stored it notifies rank 0; rank 0 commits the
+   wave on every checkpoint server once all notifications arrived, and only
+   then starts the timer for the next wave.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set
+
+from repro.ft.image import CheckpointImage
+from repro.ft.protocol import BaseEndpoint, BaseProtocol
+from repro.mpi.channels.nemesis import NemesisChannel
+from repro.mpi.message import (
+    CheckpointDonePacket,
+    MarkerPacket,
+    MARKER_BYTES,
+    Packet,
+)
+from repro.sim.process import Interrupt
+
+__all__ = ["PclProtocol", "PclEndpoint"]
+
+_DONE_BYTES = 64.0
+
+
+class PclEndpoint(BaseEndpoint):
+    """Rank-side state machine of the blocking protocol."""
+
+    def __init__(self, protocol: "PclProtocol", rank: int) -> None:
+        super().__init__(protocol, rank)
+        self.state = "normal"
+        self.wave = 0
+        self._markers_from: Set[int] = set()
+        self._entered_at = 0.0
+
+    # ------------------------------------------------------------ wave entry
+    def enter_wave(self, wave: int) -> None:
+        if self.state == "checkpointing" or wave <= self.wave:
+            return
+        self.state = "checkpointing"
+        self.wave = wave
+        self._markers_from = set()
+        self._entered_at = self.sim.now
+        others = [r for r in range(self.job.size) if r != self.rank]
+        # Freeze sends *before* the markers go out: anything already queued
+        # precedes the marker (FIFO); nothing may follow it.
+        if isinstance(self.channel, NemesisChannel):
+            self.channel.enqueue_stopper()
+        else:
+            self.channel.close_send_gates(others)
+        if others:
+            self._spawn(self._send_markers(others, wave),
+                        f"pcl:markers:r{self.rank}")
+        else:
+            self._take_checkpoint()
+
+    def _send_markers(self, others, wave: int):
+        for dst in others:
+            try:
+                yield from self.channel.send_control(
+                    dst, MarkerPacket(self.rank, wave), MARKER_BYTES
+                )
+            except ConnectionError:
+                return  # mid-wave failure: recovery will discard this wave
+            self.protocol.stats.markers_sent += 1
+
+    # ---------------------------------------------------------------- events
+    def on_control(self, packet: Packet) -> None:
+        if isinstance(packet, MarkerPacket):
+            self.enter_wave(packet.wave)
+            if packet.wave != self.wave:
+                return  # stale marker from an aborted wave
+            self.channel.freeze_source(packet.src)
+            self._markers_from.add(packet.src)
+            if len(self._markers_from) == self.job.size - 1:
+                self._take_checkpoint()
+        elif isinstance(packet, CheckpointDonePacket):
+            self.protocol.on_rank_done(packet.src, packet.wave)
+
+    # ------------------------------------------------------------ checkpoint
+    def _take_checkpoint(self) -> None:
+        snapshot = self.context.take_snapshot(self.wave)
+        # fork() suspends the whole process briefly
+        self.context.add_stall(self.protocol.fork_latency)
+        self.sim.trace.record(
+            self.sim.now, "ft.local_checkpoint", rank=self.rank,
+            wave=self.wave, protocol="pcl",
+        )
+        self._spawn(self._resume(), f"pcl:resume:r{self.rank}")
+        self._spawn(self._store_and_notify(snapshot), f"pcl:store:r{self.rank}")
+
+    def _resume(self):
+        """After the fork pause, unfreeze and deliver the delayed queue."""
+        yield self.sim.timeout(self.protocol.fork_latency)
+        self.state = "normal"
+        if isinstance(self.channel, NemesisChannel):
+            self.channel.dequeue_stopper()
+        self.channel.open_send_gates()
+        self.channel.thaw_sources()
+        self.protocol.stats.blocked_seconds += self.sim.now - self._entered_at
+
+    def _store_and_notify(self, snapshot):
+        image = CheckpointImage(self.rank, snapshot.wave, snapshot.image_bytes, snapshot)
+        try:
+            yield from self._store_image(image)
+        except ConnectionError:
+            return  # failure mid-transfer; the wave will never commit
+        if self.rank == 0:
+            self.protocol.on_rank_done(0, image.wave)
+        else:
+            try:
+                yield from self.channel.send_control(
+                    0, CheckpointDonePacket(self.rank, image.wave), _DONE_BYTES
+                )
+            except ConnectionError:
+                return
+
+
+class PclProtocol(BaseProtocol):
+    """Blocking coordinated checkpointing inside MPICH2 (MPICH2-Pcl)."""
+
+    protocol_name = "pcl"
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._done_from: Set[int] = set()
+        self._current_wave = 0
+        self._wave_started_at = 0.0
+        self._wave_committed: Optional["Event"] = None
+
+    def install(self) -> None:
+        self.endpoints = [PclEndpoint(self, rank) for rank in range(self.job.size)]
+        for rank, endpoint in enumerate(self.endpoints):
+            self.job.channels[rank].protocol = endpoint
+        self._driver = self.sim.process(self._drive(), name="pcl:driver")
+
+    def _drive(self):
+        """Rank 0's wave initiation loop."""
+        wave = self.start_wave
+        while True:
+            try:
+                yield self._arm_timer()
+            except Interrupt:
+                return
+            if self.job.completed.triggered or self.job.killed:
+                return
+            self._current_wave = wave
+            self._done_from = set()
+            self._wave_started_at = self.sim.now
+            self._wave_committed = self.sim.event(name=f"pcl:wave{wave}")
+            self.sim.trace.record(self.sim.now, "ft.wave_started",
+                                  wave=wave, protocol="pcl")
+            self.endpoints[0].enter_wave(wave)
+            try:
+                yield self._wave_committed
+            except Interrupt:
+                return
+            wave += 1
+
+    def on_rank_done(self, rank: int, wave: int) -> None:
+        """A rank's image is stored (message to rank 0)."""
+        if wave != self._current_wave or self.detached:
+            return
+        self._done_from.add(rank)
+        if len(self._done_from) == self.job.size:
+            self._commit_servers(wave)
+            self._record_wave(wave, self._wave_started_at)
+            if self._wave_committed is not None and not self._wave_committed.triggered:
+                self._wave_committed.succeed()

@@ -1,0 +1,261 @@
+"""Shared protocol machinery: stats, endpoints, image storage.
+
+Both protocols are built from the same pieces the paper's implementations
+share (Sec. 4): the abstract checkpointing mechanism (fork + pipelined
+local-disk write and network stream to the checkpoint server), the
+acknowledgement plumbing, and per-wave bookkeeping.  The subclasses
+(:mod:`repro.ft.pcl`, :mod:`repro.ft.vcl`) differ exactly where the paper's
+protocols differ: when the local snapshot is taken, whether communication is
+frozen, and whether in-transit messages are logged.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.ft.image import CheckpointImage, FORK_LATENCY
+from repro.ft.server import CheckpointServer
+from repro.mpi.context import Snapshot
+from repro.mpi.message import Packet
+
+__all__ = ["FTStats", "BaseProtocol", "BaseEndpoint", "SCHEDULER_ID", "LocalImageStore"]
+
+#: pseudo-rank of the Vcl checkpoint scheduler on rank channels
+SCHEDULER_ID = -100
+
+_CONTROL_BYTES = 64.0
+
+
+class FTStats:
+    """Fault-tolerance counters that persist across job incarnations."""
+
+    def __init__(self) -> None:
+        self.waves_completed = 0
+        #: (wave, start_time, completion_time)
+        self.wave_records: List[Tuple[int, float, float]] = []
+        self.logged_bytes = 0.0
+        self.logged_messages = 0
+        self.image_bytes_stored = 0.0
+        self.blocked_seconds = 0.0
+        self.markers_sent = 0
+        self.failures = 0
+        self.restarts = 0
+        self.recovery_seconds = 0.0
+
+    def wave_durations(self) -> List[float]:
+        return [end - start for _w, start, end in self.wave_records]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<FTStats waves={self.waves_completed} blocked={self.blocked_seconds:.2f}s "
+            f"logged={self.logged_bytes / 1e6:.1f}MB restarts={self.restarts}>"
+        )
+
+
+class LocalImageStore:
+    """Per-machine local checkpoint files, persistent across incarnations.
+
+    Restarting on the same machine reads the image from local disk; restarting
+    elsewhere must fetch it from the checkpoint server (Sec. 4.2's FTPM
+    location database makes the same distinction).
+    """
+
+    def __init__(self) -> None:
+        self._images: Dict[Tuple[str, int], CheckpointImage] = {}
+
+    def put(self, node_name: str, rank: int, image: CheckpointImage) -> None:
+        self._images[(node_name, rank)] = image
+
+    def get(self, node_name: str, rank: int, wave: int) -> Optional[CheckpointImage]:
+        image = self._images.get((node_name, rank))
+        if image is not None and image.wave == wave:
+            return image
+        return None
+
+    def drop_node(self, node_name: str) -> None:
+        """A machine died: its local checkpoint files are gone."""
+        for key in [k for k in self._images if k[0] == node_name]:
+            del self._images[key]
+
+
+class BaseEndpoint:
+    """Per-rank protocol endpoint: server connection, image storage."""
+
+    def __init__(self, protocol: "BaseProtocol", rank: int) -> None:
+        self.protocol = protocol
+        self.rank = rank
+        self.job = protocol.job
+        self.sim = protocol.sim
+        self.channel = self.job.channels[rank]
+        self.context = self.job.contexts[rank]
+        self.endpoint = self.job.endpoints[rank]
+        self.server: CheckpointServer = protocol.server_map[rank]
+        self._server_end = None
+        self._ack_waiters: Dict[Tuple[str, int], "Event"] = {}
+        self._helpers: List["Process"] = []
+
+    # ----------------------------------------------------------- plumbing
+    def _spawn(self, generator, name: str) -> "Process":
+        process = self.sim.process(generator, name=name)
+        self._helpers.append(process)
+        return process
+
+    def _server_connection(self):
+        if self._server_end is None:
+            self._server_end = self.server.open_connection(self.endpoint)
+            self._spawn(self._ack_loop(), f"ft:ack:r{self.rank}")
+            self.protocol._connections.append(self._server_end.connection)
+        return self._server_end
+
+    def _ack_loop(self):
+        end = self._server_end
+        while True:
+            try:
+                message = yield end.recv()
+            except ConnectionError:
+                return
+            if message[0] == "ack":
+                _kind, what, _rank, wave = message
+                waiter = self._ack_waiters.pop((what, wave), None)
+                if waiter is not None and not waiter.triggered:
+                    waiter.succeed()
+
+    def _await_ack(self, what: str, wave: int) -> "Event":
+        event = self.sim.event(name=f"ack:{what}:{wave}:r{self.rank}")
+        self._ack_waiters[(what, wave)] = event
+        return event
+
+    # --------------------------------------------------------- image storage
+    def _store_image(self, image: CheckpointImage):
+        """Generator: fork, then pipeline the image to local disk and to the
+        checkpoint server; completes when the server acknowledged."""
+        yield self.sim.timeout(self.protocol.fork_latency)
+        end = self._server_connection()
+        disk_write = self.endpoint.node.disk.write(image.nbytes)
+        ack = self._await_ack("image", image.wave)
+        end.send(("image", self.rank, image.wave, image), nbytes=image.nbytes)
+        # While the image streams, the channel taxes application messages
+        # (progress-engine coupling; see BaseChannel.transfer_tax).
+        self.channel.active_transfer_end = end
+        try:
+            yield ack
+        finally:
+            self.channel.active_transfer_end = None
+        yield disk_write
+        self.protocol.local_images.put(self.endpoint.node.name, self.rank, image)
+        self.protocol.stats.image_bytes_stored += image.nbytes
+        self.sim.trace.record(
+            self.sim.now, "ft.image_stored",
+            rank=self.rank, wave=image.wave, nbytes=image.nbytes,
+        )
+
+    def detach(self) -> None:
+        for helper in self._helpers:
+            helper.interrupt("protocol detached")
+        self._helpers.clear()
+        for waiter in self._ack_waiters.values():
+            if not waiter.triggered:
+                waiter.defused = True
+                waiter.fail(ConnectionError("protocol detached"))
+        self._ack_waiters.clear()
+
+    # ------------------------------------------------- hooks for the channel
+    def on_control(self, packet: Packet) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def on_app_packet(self, packet) -> None:
+        """Default: application packets need no protocol attention."""
+
+
+class BaseProtocol:
+    """One protocol instance per job incarnation."""
+
+    #: human-readable protocol name for reports
+    protocol_name = "base"
+
+    def __init__(
+        self,
+        job: "MPIJob",
+        server_map: Dict[int, CheckpointServer],
+        period: float,
+        stats: Optional[FTStats] = None,
+        local_images: Optional[LocalImageStore] = None,
+        start_wave: int = 1,
+        fork_latency: float = FORK_LATENCY,
+    ) -> None:
+        if period <= 0:
+            raise ValueError("checkpoint period must be positive")
+        self.job = job
+        self.sim = job.sim
+        self.server_map = server_map
+        self.period = period
+        self.stats = stats if stats is not None else FTStats()
+        self.local_images = local_images if local_images is not None else LocalImageStore()
+        self.start_wave = start_wave
+        self.fork_latency = fork_latency
+        self.endpoints: List[BaseEndpoint] = []
+        self.detached = False
+        self._connections: List["Connection"] = []
+        self._driver: Optional["Process"] = None
+        self._wave_trigger: Optional["Event"] = None
+
+    # ------------------------------------------------------- proactive waves
+    def request_wave(self) -> None:
+        """Trigger the next checkpoint wave immediately (conclusion of the
+        paper: components observing a rising failure probability — e.g. a
+        CPU temperature probe — should start a wave without waiting for the
+        timer).  No-op while a wave is already in progress."""
+        trigger = self._wave_trigger
+        if trigger is not None and not trigger.triggered:
+            trigger.succeed()
+            self.sim.trace.record(self.sim.now, "ft.wave_requested",
+                                  protocol=self.protocol_name)
+
+    def _arm_timer(self):
+        """Event for the driver: the period timeout or an early trigger."""
+        self._wave_trigger = self.sim.event(name=f"{self.protocol_name}:trigger")
+        return self.sim.any_of([self.sim.timeout(self.period),
+                                self._wave_trigger])
+
+    @property
+    def servers(self) -> List[CheckpointServer]:
+        seen: List[CheckpointServer] = []
+        for server in self.server_map.values():
+            if server not in seen:
+                seen.append(server)
+        return seen
+
+    def install(self) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def detach(self) -> None:
+        """Stop drivers and endpoint helpers; break protocol connections.
+
+        Called when the job dies (failure) or completes.  Checkpoint servers
+        and the stats object survive for the next incarnation.
+        """
+        if self.detached:
+            return
+        self.detached = True
+        if self._driver is not None:
+            self._driver.interrupt("protocol detached")
+        for endpoint in self.endpoints:
+            endpoint.detach()
+        for channel in self.job.channels:
+            if channel.protocol in self.endpoints:
+                channel.protocol = None
+        for connection in self._connections:
+            connection.break_()
+        self._connections.clear()
+
+    def _record_wave(self, wave: int, started_at: float) -> None:
+        self.stats.waves_completed += 1
+        self.stats.wave_records.append((wave, started_at, self.sim.now))
+        self.sim.trace.record(
+            self.sim.now, "ft.wave_completed", wave=wave,
+            duration=self.sim.now - started_at, protocol=self.protocol_name,
+        )
+
+    def _commit_servers(self, wave: int) -> None:
+        for server in self.servers:
+            server.commit(wave)

@@ -1,0 +1,294 @@
+"""Rollback-recovery orchestration: the fault-tolerant run.
+
+:class:`FTRun` owns everything that *survives* a failure — the network, the
+checkpoint servers, the local image store, the statistics — and drives the
+kill/rollback/restart cycle over successive :class:`~repro.mpi.job.MPIJob`
+incarnations:
+
+1. a failure surfaces as an unexpected socket closure (the job's failure
+   listener fires);
+2. every process of the job is killed and the active (uncommitted) wave is
+   abandoned;
+3. the launcher respawns the processes (ssh cost, spare-node placement when
+   a whole machine died);
+4. each rank reloads the image of the last *committed* wave — from its local
+   disk when it restarts on the same machine, otherwise streamed back from
+   its checkpoint server;
+5. for Vcl, the daemon replays the wave's logged in-transit messages into
+   the matching engine;
+6. a fresh protocol instance installs and the wave timer re-arms.
+
+The launcher is pluggable; :mod:`repro.runtime` provides the paper's two
+environments (the MPICH-V dispatcher and the MPICH2 FTPM) with their spawn
+costs and scalability limits.  The default :class:`InstantLauncher` starts
+processes with no cost, for unit tests.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.ft.failure import FailureInjector
+from repro.ft.image import CheckpointImage
+from repro.ft.protocol import FTStats, LocalImageStore
+from repro.ft.server import CheckpointServer, assign_servers
+from repro.mpi.job import MPIJob
+from repro.net.topology import BaseNetwork, Endpoint
+
+__all__ = ["FTRun", "InstantLauncher"]
+
+_CONTROL_BYTES = 64.0
+
+
+class InstantLauncher:
+    """Zero-cost launcher used by tests; real ones live in repro.runtime."""
+
+    def validate(self, n_ranks: int) -> None:
+        """Raise if this environment cannot run ``n_ranks`` processes."""
+
+    def spawn_delays(self, n_ranks: int) -> List[float]:
+        """Per-rank start delays for a (re)launch."""
+        return [0.0] * n_ranks
+
+    def respawn_lead_time(self) -> float:
+        """Fixed cost before respawning begins (signalling, cleanup)."""
+        return 0.0
+
+
+class FTRun:
+    """One fault-tolerant application execution, across failures."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        net: BaseNetwork,
+        endpoints: Sequence[Endpoint],
+        app_factory: Callable,
+        channel_cls: type,
+        protocol_factory: Optional[Callable[[MPIJob, "FTRun"], "BaseProtocol"]],
+        servers: Sequence[CheckpointServer],
+        launcher: Optional[InstantLauncher] = None,
+        image_bytes: float = 0.0,
+        name: str = "ftrun",
+        restart_policy: str = "same-node",
+        max_restarts: int = 16,
+    ) -> None:
+        if restart_policy not in ("same-node", "spare"):
+            raise ValueError(f"unknown restart policy {restart_policy!r}")
+        self.sim = sim
+        self.net = net
+        self.endpoints = list(endpoints)
+        self.app_factory = app_factory
+        self.channel_cls = channel_cls
+        self.protocol_factory = protocol_factory
+        self.servers = list(servers)
+        self.server_map: Dict[int, CheckpointServer] = (
+            assign_servers(len(self.endpoints), self.servers) if self.servers else {}
+        )
+        self.launcher = launcher if launcher is not None else InstantLauncher()
+        self.image_bytes = image_bytes
+        self.name = name
+        self.restart_policy = restart_policy
+        self.max_restarts = max_restarts
+
+        self.stats = FTStats()
+        self.local_images = LocalImageStore()
+        self.injector = FailureInjector(sim, net, self.local_images)
+        self.completed = sim.event(name=f"{name}:completed")
+        self.job: Optional[MPIJob] = None
+        self.protocol = None
+        self._incarnation = 0
+        self._handling_failure = False
+        self._started_at = 0.0
+
+    # ------------------------------------------------------------- lifecycle
+    def start(self) -> None:
+        self.launcher.validate(len(self.endpoints))
+        self._started_at = self.sim.now
+        self._launch(snapshots=None, logs=None, first=True)
+
+    def _launch(self, snapshots, logs, first: bool) -> None:
+        self._incarnation += 1
+        job = MPIJob(
+            self.sim, self.net, self.endpoints, self.app_factory,
+            self.channel_cls, name=f"{self.name}#{self._incarnation}",
+            image_bytes=self.image_bytes,
+        )
+        self.job = job
+        self._handling_failure = False
+        job.failure_listener = self._on_failure_signal
+        job.completed.callbacks.append(self._on_job_completed)
+        if self.protocol_factory is not None:
+            committed = self.committed_wave()
+            self.protocol = self.protocol_factory(job, self)
+            self.protocol.start_wave = committed + 1
+            self.protocol.install()
+        delays = self.launcher.spawn_delays(len(self.endpoints))
+        job.start(snapshots=snapshots, start_delays=delays)
+        if logs:
+            # Vcl: the daemons replay the logged in-transit messages; they
+            # land after the restored unexpected queues, preserving per-
+            # channel FIFO order.
+            for rank, packets in logs.items():
+                for packet in packets:
+                    job.channels[rank].matching.deliver(packet)
+
+    def _on_job_completed(self, event) -> None:
+        if self.completed.triggered:
+            return
+        if self.protocol is not None:
+            self.protocol.detach()
+        self.completed.succeed(self.sim.now - self._started_at)
+
+    # ----------------------------------------------------------------- waves
+    def committed_wave(self) -> int:
+        if not self.servers:
+            return 0
+        return max(server.committed_wave for server in self.servers)
+
+    # --------------------------------------------------------------- failure
+    def schedule_task_kill(self, rank: int, at: float) -> None:
+        """Kill ``rank``'s task of whatever incarnation is live at ``at``."""
+        self.sim.call_at(at - self.sim.now, self._kill_now, rank, "task")
+
+    def schedule_node_kill(self, rank: int, at: float) -> None:
+        self.sim.call_at(at - self.sim.now, self._kill_now, rank, "node")
+
+    def _kill_now(self, rank: int, kind: str) -> None:
+        if self.job is None or self.completed.triggered:
+            return
+        if kind == "task":
+            self.injector.kill_task(self.job, rank)
+        else:
+            self.injector.kill_node(self.job, rank)
+
+    def enable_random_failures(
+        self,
+        mttf: float,
+        max_failures: int = 8,
+        probe_lead: Optional[float] = None,
+        stream: str = "failures",
+    ) -> None:
+        """Inject task failures as a Poisson process with the given MTTF.
+
+        Failure instants and victims come from a dedicated RNG stream, so two
+        runs of the same seed see the *same* failure schedule regardless of
+        checkpoint settings — which is what makes checkpoint-period sweeps
+        comparable (the MTTF experiment).
+
+        ``probe_lead`` models the paper's proposed proactive trigger: a
+        health probe (CPU temperature and the like) notices the impending
+        failure ``probe_lead`` seconds ahead and asks the protocol for an
+        immediate checkpoint wave.
+        """
+        if mttf <= 0:
+            raise ValueError("mttf must be positive")
+        rng = self.sim.rng.stream(f"{self.name}.{stream}")
+        self.sim.process(
+            self._poisson_failures(rng, mttf, max_failures, probe_lead),
+            name=f"{self.name}:poisson",
+        )
+
+    def _poisson_failures(self, rng, mttf, max_failures, probe_lead):
+        for _ in range(max_failures):
+            delay = float(rng.exponential(mttf))
+            victim = int(rng.integers(0, len(self.endpoints)))
+            if probe_lead is not None and delay > probe_lead:
+                self.sim.call_at(delay - probe_lead, self._proactive_trigger)
+            yield self.sim.timeout(delay)
+            if self.completed.triggered:
+                return
+            self._kill_now(victim, "task")
+
+    def _proactive_trigger(self) -> None:
+        if (self.protocol is not None and not self.protocol.detached
+                and not self.completed.triggered):
+            self.protocol.request_wave()
+
+    def _on_failure_signal(self, rank: int, peer: Optional[int]) -> None:
+        """Unexpected socket closure observed; first signal wins."""
+        if self._handling_failure or self.completed.triggered:
+            return
+        self._handling_failure = True
+        self.stats.failures += 1
+        self.sim.trace.record(self.sim.now, "ft.failure_detected",
+                              incarnation=self._incarnation)
+        self.sim.process(self._recover(), name=f"{self.name}:recover")
+
+    def _recover(self):
+        recovery_start = self.sim.now
+        if self.protocol is not None:
+            self.protocol.detach()
+        job = self.job
+        job.kill()
+
+        if self.stats.restarts >= self.max_restarts:
+            raise RuntimeError(f"{self.name}: exceeded {self.max_restarts} restarts")
+
+        wave = self.committed_wave()
+        yield self.sim.timeout(self.launcher.respawn_lead_time())
+        self._replace_dead_nodes()
+
+        snapshots: Optional[List] = None
+        logs: Optional[Dict[int, list]] = None
+        if wave > 0:
+            fetchers = [
+                self.sim.process(self._fetch_image(rank, wave),
+                                 name=f"{self.name}:fetch:r{rank}")
+                for rank in range(len(self.endpoints))
+            ]
+            images = []
+            for fetcher in fetchers:
+                image = yield fetcher
+                images.append(image)
+            snapshots = [image.snapshot for image in images]
+            logs = {
+                rank: image.logged_messages
+                for rank, image in enumerate(images)
+                if image.logged_messages
+            }
+        self.stats.restarts += 1
+        self.stats.recovery_seconds += self.sim.now - recovery_start
+        self.sim.trace.record(self.sim.now, "ft.restarted", wave=wave,
+                              incarnation=self._incarnation)
+        self._launch(snapshots=snapshots, logs=logs, first=False)
+
+    def _replace_dead_nodes(self) -> None:
+        """Spare-node policy: move endpoints off dead machines."""
+        dead = [i for i, ep in enumerate(self.endpoints) if not ep.node.alive]
+        if not dead:
+            return
+        if self.restart_policy == "same-node":
+            # The task died but the machine is fine in the paper's setup; if
+            # the whole node was killed, model a reboot.
+            for index in dead:
+                self.endpoints[index].node.restore()
+            return
+        used = {ep.node for ep in self.endpoints}
+        spares = [n for n in self.net.all_nodes()
+                  if n.alive and not n.service and n not in used]
+        for index in dead:
+            if not spares:
+                raise RuntimeError("no spare nodes available for restart")
+            self.endpoints[index] = Endpoint(spares.pop(0), 0)
+
+    def _fetch_image(self, rank: int, wave: int):
+        """Generator: load ``rank``'s image of ``wave`` (local disk first)."""
+        endpoint = self.endpoints[rank]
+        image = self.local_images.get(endpoint.node.name, rank, wave)
+        if image is not None:
+            yield endpoint.node.disk.read(image.nbytes)
+            self.sim.trace.count("ft.restore_local")
+            return image
+        server = self.server_map[rank]
+        connection = self.net.connect(endpoint, server.endpoint)
+        server.serve_connection(connection.end_b)
+        end = connection.end_a
+        end.send(("fetch", rank, wave), nbytes=_CONTROL_BYTES)
+        message = yield end.recv()
+        connection.break_()
+        _kind, image = message
+        if image is None:
+            raise RuntimeError(f"server lost rank {rank}'s image for wave {wave}")
+        self.sim.trace.count("ft.restore_remote")
+        return image

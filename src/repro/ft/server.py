@@ -1,0 +1,140 @@
+"""Checkpoint servers.
+
+A checkpoint server is a dedicated machine that collects the local
+checkpoints of its assigned MPI processes (Sec. 4.1).  Image and log bytes
+arrive over ordinary network connections, so concurrent transfers from many
+ranks contend on the server's NIC — the effect behind Figure 5's
+checkpoint-server scaling study.
+
+Both implementations (Vcl and Pcl) share this server, as in the paper.
+
+Wire protocol (payloads on the rank<->server connection):
+
+* ``("image", rank, wave, image)``     rank -> server, sized ``image.nbytes``
+* ``("log", rank, wave, packets)``     rank -> server, sized logged bytes
+* ``("fetch", rank, wave)``            rank -> server (restart)
+* ``("image_data", image)``            server -> rank, sized ``image.nbytes``
+* ``("ack", kind, rank, wave)``        server -> rank
+* ``("commit", wave)``                 initiator -> server
+
+Only *committed* waves survive: a failure mid-wave breaks the connections,
+and the partial wave's records are discarded when the next commit garbage-
+collects everything but the newest committed wave (the paper's "simple
+garbage collection").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.ft.image import CheckpointImage
+from repro.net.topology import BaseNetwork, Endpoint
+from repro.sim.process import Interrupt
+
+__all__ = ["CheckpointServer", "assign_servers"]
+
+#: wire size of small control records on the server connection
+_CONTROL_BYTES = 64.0
+
+
+class CheckpointServer:
+    """One checkpoint server process on its own machine."""
+
+    def __init__(self, sim: "Simulator", net: BaseNetwork, node: "Node",
+                 name: str = "ckpt-server") -> None:
+        self.sim = sim
+        self.net = net
+        self.node = node
+        self.name = name
+        self.endpoint = Endpoint(node, 0)
+        #: wave -> rank -> image
+        self.storage: Dict[int, Dict[int, CheckpointImage]] = {}
+        self.committed_wave: int = 0
+        self.bytes_received = 0.0
+        self.peak_stored_bytes = 0.0
+        self._receivers: List["Process"] = []
+
+    # ------------------------------------------------------------ connections
+    def open_connection(self, rank_endpoint: Endpoint) -> "ConnectionEnd":
+        """Connect a rank's daemon to this server; returns the rank-side end.
+
+        The real daemon opens three sockets (data / messages / control); one
+        modelled FIFO connection carries all three roles.
+        """
+        connection = self.net.connect(rank_endpoint, self.endpoint)
+        self.serve_connection(connection.end_b)
+        return connection.end_a
+
+    def serve_connection(self, end: "ConnectionEnd") -> None:
+        """Start serving requests arriving on ``end`` (server side)."""
+        receiver = self.sim.process(self._serve(end), name=f"{self.name}:serve")
+        self._receivers.append(receiver)
+
+    def _serve(self, end: "ConnectionEnd"):
+        while True:
+            try:
+                message = yield end.recv()
+            except ConnectionError:
+                return  # rank died or job torn down; partial data stays until GC
+            kind = message[0]
+            if kind == "image":
+                _kind, rank, wave, image = message
+                self.storage.setdefault(wave, {})[rank] = image
+                image.stored_at = self.sim.now
+                self.bytes_received += image.nbytes
+                self._track_peak()
+                end.send(("ack", "image", rank, wave), nbytes=_CONTROL_BYTES)
+            elif kind == "log":
+                _kind, rank, wave, packets, nbytes = message
+                image = self.storage.get(wave, {}).get(rank)
+                if image is not None:
+                    image.logged_messages = list(packets)
+                    image.logged_bytes = nbytes
+                self.bytes_received += nbytes
+                self._track_peak()
+                end.send(("ack", "log", rank, wave), nbytes=_CONTROL_BYTES)
+            elif kind == "fetch":
+                _kind, rank, wave = message
+                image = self.storage.get(wave, {}).get(rank)
+                end.send(("image_data", image),
+                         nbytes=image.nbytes if image else _CONTROL_BYTES)
+            elif kind == "commit":
+                _kind, wave = message
+                self.commit(wave)
+            else:  # pragma: no cover - defensive
+                raise ValueError(f"unknown server message {kind!r}")
+
+    # ---------------------------------------------------------------- storage
+    def commit(self, wave: int) -> None:
+        """Mark ``wave`` complete and garbage-collect older waves."""
+        if wave <= self.committed_wave:
+            return
+        self.committed_wave = wave
+        for old in [w for w in self.storage if w < wave]:
+            del self.storage[old]
+
+    def images_for(self, wave: int) -> Dict[int, CheckpointImage]:
+        return dict(self.storage.get(wave, {}))
+
+    def stored_bytes(self) -> float:
+        return sum(
+            image.total_bytes
+            for per_rank in self.storage.values()
+            for image in per_rank.values()
+        )
+
+    def _track_peak(self) -> None:
+        self.peak_stored_bytes = max(self.peak_stored_bytes, self.stored_bytes())
+
+    def shutdown(self) -> None:
+        for receiver in self._receivers:
+            receiver.interrupt("server shutdown")
+        self._receivers.clear()
+
+
+def assign_servers(n_ranks: int, servers: List[CheckpointServer]) -> Dict[int, CheckpointServer]:
+    """Round-robin mapping of ranks to servers (the paper distributes
+    computing nodes equally among the checkpoint servers)."""
+    if not servers:
+        raise ValueError("at least one checkpoint server is required")
+    return {rank: servers[rank % len(servers)] for rank in range(n_ranks)}

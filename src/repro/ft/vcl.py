@@ -1,0 +1,243 @@
+"""Vcl: the non-blocking Chandy–Lamport protocol (Sec. 3, Fig. 1).
+
+A dedicated *checkpoint scheduler* process initiates waves.  On its first
+marker of a wave (from the scheduler or from a peer), a process:
+
+1. records its local state immediately — the fork makes the interruption
+   "only the local checkpointing" — and starts streaming the image to its
+   checkpoint server while computation continues;
+2. sends a marker to every other process;
+3. starts logging: every application message received on a channel after the
+   local checkpoint and before that channel's marker is copied into the
+   daemon's volatile memory as the channel state, to be shipped to the
+   checkpoint server and replayed at restart.
+
+When the markers of all peers have arrived and the image and logs are
+stored, the process acknowledges the scheduler; the scheduler asserts the
+wave to the servers once every acknowledgment is in, and only then arms the
+timer for the next wave.
+
+Communication is never frozen — the protocol's entire cost is the fork, the
+background image transfer, and the logging copies.  That is why Vcl's
+completion time is flat in the number of waves (Figs. 5–7) while Pcl's is
+linear.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.ft.image import CheckpointImage
+from repro.ft.protocol import BaseEndpoint, BaseProtocol, SCHEDULER_ID
+from repro.mpi.channels.ch_v import ChVChannel
+from repro.mpi.message import (
+    AppPacket,
+    ControlPacket,
+    MarkerPacket,
+    MARKER_BYTES,
+    Packet,
+)
+from repro.net.topology import Endpoint
+from repro.sim.process import Interrupt
+
+__all__ = ["VclProtocol", "VclEndpoint"]
+
+_ACK_BYTES = 64.0
+
+
+class VclEndpoint(BaseEndpoint):
+    """Rank-side state machine of the non-blocking protocol."""
+
+    def __init__(self, protocol: "VclProtocol", rank: int) -> None:
+        super().__init__(protocol, rank)
+        self.wave = 0
+        self._logging_from: Set[int] = set()
+        self._log: List[AppPacket] = []
+        self._log_bytes = 0.0
+        self._image_stored = False
+        self._acked = False
+
+    # ------------------------------------------------------------ wave entry
+    def start_wave(self, wave: int) -> None:
+        if wave <= self.wave:
+            return
+        self.wave = wave
+        # 1. local checkpoint, immediately and atomically; the fork pause is
+        # the protocol's only interruption of the computation
+        snapshot = self.context.take_snapshot(wave)
+        self.context.add_stall(self.protocol.fork_latency)
+        self.sim.trace.record(
+            self.sim.now, "ft.local_checkpoint", rank=self.rank,
+            wave=wave, protocol="vcl",
+        )
+        # 2. open the logging window for every peer channel
+        self._logging_from = {r for r in range(self.job.size) if r != self.rank}
+        self._log = []
+        self._log_bytes = 0.0
+        self._image_stored = False
+        self._acked = False
+        # 3. markers to everyone; image transfer in the background
+        if self._logging_from:
+            self._spawn(self._send_markers(sorted(self._logging_from), wave),
+                        f"vcl:markers:r{self.rank}")
+        self._spawn(self._store(snapshot), f"vcl:store:r{self.rank}")
+
+    def _send_markers(self, others, wave: int):
+        for dst in others:
+            try:
+                yield from self.channel.send_control(
+                    dst, MarkerPacket(self.rank, wave), MARKER_BYTES
+                )
+            except ConnectionError:
+                return
+            self.protocol.stats.markers_sent += 1
+
+    def _store(self, snapshot):
+        image = CheckpointImage(self.rank, snapshot.wave, snapshot.image_bytes, snapshot)
+        try:
+            yield from self._store_image(image)
+        except ConnectionError:
+            return
+        self._image_stored = True
+        self._image = image
+        self._check_local_done()
+
+    # ---------------------------------------------------------------- events
+    def on_control(self, packet: Packet) -> None:
+        if isinstance(packet, MarkerPacket):
+            self.start_wave(packet.wave)
+            if packet.wave != self.wave:
+                return
+            if packet.src != SCHEDULER_ID:
+                self._logging_from.discard(packet.src)
+                self._check_local_done()
+
+    def on_app_packet(self, packet: AppPacket) -> None:
+        """Chandy–Lamport channel-state recording (the daemon's copy)."""
+        if packet.src in self._logging_from:
+            self._log.append(packet)
+            self._log_bytes += packet.nbytes
+            if isinstance(self.channel, ChVChannel):
+                self.channel.log_buffer_bytes += packet.nbytes
+            self.protocol.stats.logged_messages += 1
+            self.protocol.stats.logged_bytes += packet.nbytes
+
+    # ----------------------------------------------------------- completion
+    def _check_local_done(self) -> None:
+        if self._acked or not self._image_stored or self._logging_from:
+            return
+        self._acked = True
+        self._spawn(self._ship_logs_and_ack(), f"vcl:logs:r{self.rank}")
+
+    def _ship_logs_and_ack(self):
+        wave = self.wave
+        if self._log:
+            end = self._server_connection()
+            ack = self._await_ack("log", wave)
+            end.send(("log", self.rank, wave, list(self._log), self._log_bytes),
+                     nbytes=self._log_bytes)
+            try:
+                yield ack
+            except ConnectionError:
+                return
+            # keep the image's log reference locally too (same-node restarts)
+            self._image.logged_messages = list(self._log)
+            self._image.logged_bytes = self._log_bytes
+            if isinstance(self.channel, ChVChannel):
+                self.channel.log_buffer_bytes = 0.0
+        self.protocol.on_rank_ack(self.rank, wave)
+
+
+class VclScheduler:
+    """The centralized checkpoint-wave initiator (its own machine)."""
+
+    def __init__(self, protocol: "VclProtocol", node: "Node") -> None:
+        self.protocol = protocol
+        self.sim = protocol.sim
+        self.node = node
+        self.endpoint = Endpoint(node, 0)
+        self._rank_ends: Dict[int, "ConnectionEnd"] = {}
+
+    def connect_all(self) -> None:
+        """Open one connection per MPI process (as the scheduler does at
+        deployment time) and plug the rank side into each rank's channel."""
+        job = self.protocol.job
+        for rank in range(job.size):
+            connection = job.net.connect(self.endpoint, job.endpoints[rank])
+            self._rank_ends[rank] = connection.end_a
+            job.channels[rank].attach(SCHEDULER_ID, connection.end_b)
+            self.protocol._connections.append(connection)
+            self.sim.process(
+                self._listen(rank, connection.end_a), name=f"vcl:sched:r{rank}"
+            )
+
+    def broadcast_markers(self, wave: int) -> None:
+        for rank, end in self._rank_ends.items():
+            if not end.broken:
+                end.send(MarkerPacket(SCHEDULER_ID, wave), nbytes=MARKER_BYTES)
+
+    def _listen(self, rank: int, end: "ConnectionEnd"):
+        while True:
+            try:
+                message = yield end.recv()
+            except ConnectionError:
+                return
+            if isinstance(message, ControlPacket) and message.kind == "vcl_ack":
+                self.protocol.on_rank_ack(message.src, message.payload)
+
+
+class VclProtocol(BaseProtocol):
+    """Non-blocking coordinated checkpointing inside MPICH-1 (MPICH-Vcl)."""
+
+    protocol_name = "vcl"
+
+    def __init__(self, *args, scheduler_node: "Node" = None, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        if scheduler_node is None:
+            raise ValueError("VclProtocol needs a scheduler_node")
+        self.scheduler = VclScheduler(self, scheduler_node)
+        self._acks_from: Set[int] = set()
+        self._current_wave = 0
+        self._wave_started_at = 0.0
+        self._wave_committed: Optional["Event"] = None
+
+    def install(self) -> None:
+        self.endpoints = [VclEndpoint(self, rank) for rank in range(self.job.size)]
+        for rank, endpoint in enumerate(self.endpoints):
+            self.job.channels[rank].protocol = endpoint
+        self.scheduler.connect_all()
+        self._driver = self.sim.process(self._drive(), name="vcl:scheduler")
+
+    def _drive(self):
+        wave = self.start_wave
+        while True:
+            try:
+                yield self._arm_timer()
+            except Interrupt:
+                return
+            if self.job.completed.triggered or self.job.killed:
+                return
+            self._current_wave = wave
+            self._acks_from = set()
+            self._wave_started_at = self.sim.now
+            self._wave_committed = self.sim.event(name=f"vcl:wave{wave}")
+            self.sim.trace.record(self.sim.now, "ft.wave_started",
+                                  wave=wave, protocol="vcl")
+            self.scheduler.broadcast_markers(wave)
+            try:
+                yield self._wave_committed
+            except Interrupt:
+                return
+            wave += 1
+
+    def on_rank_ack(self, rank: int, wave: int) -> None:
+        """Endpoint-local wave done.  Rank endpoints report in-process (the
+        ack message cost is modelled by the log/image acks that precede it)."""
+        if wave != self._current_wave or self.detached:
+            return
+        self._acks_from.add(rank)
+        if len(self._acks_from) == self.job.size:
+            self._commit_servers(wave)
+            self._record_wave(wave, self._wave_started_at)
+            if self._wave_committed is not None and not self._wave_committed.triggered:
+                self._wave_committed.succeed()

@@ -1,0 +1,20 @@
+"""Benchmark harness: profiles, runner, reports, per-figure reproductions."""
+
+from repro.harness.config import PROFILES, Profile, get_profile
+from repro.harness.figures import EXPERIMENT_IDS, get_experiment
+from repro.harness.report import FigureResult, Series, render, save_json
+from repro.harness.runner import RunResult, execute
+
+__all__ = [
+    "EXPERIMENT_IDS",
+    "FigureResult",
+    "PROFILES",
+    "Profile",
+    "RunResult",
+    "Series",
+    "execute",
+    "get_experiment",
+    "get_profile",
+    "render",
+    "save_json",
+]

@@ -1,0 +1,71 @@
+"""Command-line entry: regenerate any table/figure of the paper.
+
+Usage::
+
+    python -m repro.harness fig5 [fig7 ...] [--profile quick|paper|smoke]
+                                 [--seed N] [--save-dir results] [--no-save]
+    python -m repro.harness all --profile quick
+    python -m repro.harness --list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.harness.config import PROFILES, get_profile
+from repro.harness.figures import EXPERIMENT_IDS, get_experiment
+from repro.harness.report import render, save_json
+
+__all__ = ["main"]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness",
+        description="Reproduce the paper's tables and figures.",
+    )
+    parser.add_argument("experiments", nargs="*",
+                        help=f"experiment ids ({', '.join(EXPERIMENT_IDS)}) "
+                             "or 'all'")
+    parser.add_argument("--profile", default="quick", choices=sorted(PROFILES),
+                        help="experiment scale (default: quick)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--save-dir", default="results",
+                        help="where to write JSON results")
+    parser.add_argument("--no-save", action="store_true")
+    parser.add_argument("--list", action="store_true",
+                        help="list experiment ids and exit")
+    args = parser.parse_args(argv)
+
+    if args.list or not args.experiments:
+        for experiment_id in EXPERIMENT_IDS:
+            print(experiment_id)
+        return 0
+
+    requested = list(EXPERIMENT_IDS) if "all" in args.experiments \
+        else args.experiments
+    profile = get_profile(args.profile, seed=args.seed)
+
+    failures = 0
+    for experiment_id in requested:
+        started = time.time()
+        result = get_experiment(experiment_id)(profile)
+        elapsed = time.time() - started
+        print(render(result))
+        print(f"[{experiment_id}] regenerated in {elapsed:.1f}s wall time")
+        if not args.no_save:
+            path = save_json(result, args.save_dir)
+            print(f"[{experiment_id}] saved {path}")
+        print()
+        if not result.all_checks_pass:
+            failures += 1
+    if failures:
+        print(f"{failures} experiment(s) had failing shape checks",
+              file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

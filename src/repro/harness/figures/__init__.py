@@ -1,0 +1,35 @@
+"""Per-figure reproduction scripts.
+
+Each module exposes ``run(profile) -> FigureResult``; :func:`get_experiment`
+resolves an experiment id lazily so importing one figure never pays for the
+others.
+"""
+
+from importlib import import_module
+from typing import Callable, List
+
+EXPERIMENT_IDS = (
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "netpipe",
+    "scale_limit",
+    "ablations",
+    "mttf",
+)
+
+
+def get_experiment(experiment_id: str) -> Callable:
+    """Resolve an experiment id to its ``run(profile)`` callable."""
+    if experiment_id not in EXPERIMENT_IDS:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; have {EXPERIMENT_IDS}"
+        )
+    module = import_module(f"repro.harness.figures.{experiment_id}")
+    return module.run
+
+
+__all__ = ["EXPERIMENT_IDS", "get_experiment"]

@@ -1,0 +1,75 @@
+"""Figure 10 — blocking checkpointing at large scale (grid, BT.B size sweep).
+
+Paper setup: BT class B over the Grid'5000 slice at growing process counts
+(up to 529), Pcl with a 60 s period against a checkpoint-free execution;
+the wave count of each checkpointed run is reported alongside.
+
+Expected shape (Sec. 5.4): BT.B is not scalable on a grid — the
+checkpoint-free execution slows down at the largest size because remote
+(WAN-separated) processors join — and the longer execution gives the
+checkpointed run time for more waves, whose linear cost widens the gap.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.apps import BT
+from repro.harness.config import Profile
+from repro.harness.report import FigureResult, Series
+from repro.harness.runner import execute
+
+__all__ = ["run"]
+
+
+def run(profile: Profile) -> FigureResult:
+    bench = BT(klass="B", scale=profile.time_scale)
+    sizes = list(profile.fig10_sizes)
+
+    base_times: List[float] = []
+    ckpt_times: List[float] = []
+    waves: List[float] = []
+    for p in sizes:
+        baseline = execute(bench, p, None, profile, network="grid5000",
+                           n_servers=profile.fig10_servers,
+                           name=f"fig10-base-p{p}")
+        result = execute(bench, p, "pcl", profile, network="grid5000",
+                         n_servers=profile.fig10_servers,
+                         period=profile.fig10_period,
+                         name=f"fig10-ckpt-p{p}")
+        base_times.append(baseline.completion)
+        ckpt_times.append(result.completion)
+        waves.append(float(result.waves))
+
+    largest = len(sizes) - 1
+    checks = {
+        "checkpointed run slower than no-ckpt at every size": all(
+            c > b for c, b in zip(ckpt_times, base_times)
+        ),
+        "every checkpointed run completed at least one wave":
+            all(w >= 1 for w in waves),
+        "longer executions accumulate at least as many waves":
+            waves[largest] >= min(waves),
+    }
+    if sizes[largest] > 96:
+        # smaller sweeps fit inside one site and never touch the WAN, so
+        # the paper's heterogeneity slowdown cannot appear
+        checks["grid slowdown at the largest size (no-ckpt stops scaling)"] = (
+            base_times[largest] * sizes[largest] >
+            base_times[largest - 1] * sizes[largest - 1]
+        )
+    return FigureResult(
+        figure_id="fig10",
+        title="Large-scale blocking checkpointing (BT.B on Grid'5000, "
+              f"period {profile.fig10_period:g}s vs none)",
+        x_label="processes",
+        y_label="completion time [s] / waves",
+        series=[
+            Series("no-ckpt [s]", sizes, base_times),
+            Series(f"pcl@{profile.fig10_period:g}s [s]", sizes, ckpt_times),
+            Series("waves", sizes, waves),
+        ],
+        checks=checks,
+        notes=["grid sites fill in order; the largest sizes span WAN links"],
+        profile=profile.name,
+    )

@@ -1,0 +1,86 @@
+"""Figure 5 — impact of the number of checkpoint servers.
+
+Paper setup: BT class B on 64 processes over 32 dual-processor GigE nodes,
+30 s between checkpoints, checkpoint-server-to-compute-node ratios from 1:64
+to 1:8.  Top panel: completion time; bottom panel: completed waves.
+
+Expected shape (Sec. 5.2):
+
+* **Pcl** completion time *decreases* as servers are added — its blocked-
+  then-resumed communication competes with the image transfers for NIC
+  bandwidth, so shorter transfers mean less contention;
+* **Vcl** completion time stays *nearly constant* — the time saved on
+  transfers is spent completing *more* waves instead (bottom panel);
+* at the largest server count the two implementations nearly meet, with
+  MPICH2's (Pcl's) lower baseline showing.
+"""
+
+from __future__ import annotations
+
+from repro.apps import BT
+from repro.harness.config import Profile
+from repro.harness.report import FigureResult, Series
+from repro.harness.runner import execute
+
+__all__ = ["run"]
+
+
+def run(profile: Profile) -> FigureResult:
+    bench = BT(klass="B", scale=profile.time_scale)
+    p = profile.fig5_procs
+    results = {"pcl": [], "vcl": []}
+    for protocol in ("pcl", "vcl"):
+        for n_servers in profile.fig5_servers:
+            results[protocol].append(execute(
+                bench, p, protocol, profile,
+                n_servers=n_servers,
+                period=profile.fig5_period,
+                procs_per_node=2,
+                name=f"fig5-{protocol}-s{n_servers}",
+            ))
+
+    servers = list(profile.fig5_servers)
+    pcl_times = [r.completion for r in results["pcl"]]
+    vcl_times = [r.completion for r in results["vcl"]]
+    pcl_waves = [r.waves for r in results["pcl"]]
+    vcl_waves = [r.waves for r in results["vcl"]]
+
+    def mean_wave(result):
+        durations = result.stats.wave_durations()
+        return sum(durations) / len(durations) if durations else 0.0
+
+    vcl_band = (max(vcl_times) - min(vcl_times)) / min(vcl_times)
+    checks = {
+        "pcl time decreases with more servers":
+            pcl_times[-1] < pcl_times[0],
+        "pcl gains >=2% from 1 to max servers":
+            pcl_times[-1] <= 0.98 * pcl_times[0],
+        "vcl time nearly constant (<8% band)": vcl_band < 0.08,
+        # more servers -> shorter transfers -> shorter waves, which is what
+        # lets Vcl fit more waves into its constant completion time
+        "vcl wave duration shrinks with more servers":
+            mean_wave(results["vcl"][-1]) < mean_wave(results["vcl"][0]),
+        "vcl completes at least as many waves with more servers":
+            vcl_waves[-1] >= vcl_waves[0],
+        "every pcl run completed at least one wave":
+            all(w >= 1 for w in pcl_waves),
+    }
+    return FigureResult(
+        figure_id="fig5",
+        title="Checkpoint servers vs completion time (BT.B, 64 procs, "
+              f"period {profile.fig5_period}s)",
+        x_label="n_servers",
+        y_label="completion time [s] / completed waves",
+        series=[
+            Series("pcl time [s]", servers, pcl_times),
+            Series("vcl time [s]", servers, vcl_times),
+            Series("pcl waves", servers, [float(w) for w in pcl_waves]),
+            Series("vcl waves", servers, [float(w) for w in vcl_waves]),
+        ],
+        checks=checks,
+        notes=[
+            "paper: Pcl decreases with servers; Vcl flat with more waves",
+            f"server:compute ratios 1:{p} .. 1:{p // max(profile.fig5_servers)}",
+        ],
+        profile=profile.name,
+    )

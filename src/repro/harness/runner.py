@@ -1,0 +1,111 @@
+"""One measured run: deploy, execute, collect.
+
+The figure scripts are thin loops over :func:`execute`; everything about
+deploying a benchmark under a protocol at a profile's scale lives here so
+every figure measures the same way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.apps.base import NASBenchmark
+from repro.ft.protocol import FTStats
+from repro.harness.config import Profile
+from repro.runtime import DeploymentSpec, build_run
+from repro.sim import Simulator
+
+__all__ = ["RunResult", "execute", "default_channel"]
+
+
+def default_channel(protocol: Optional[str], network: str) -> str:
+    """The paper's channel for each implementation:
+
+    * Pcl lives in MPICH2: ft-sock on TCP networks, Nemesis available on
+      Myrinet (callers pick explicitly for the Fig. 7 comparison);
+    * Vcl lives in MPICH-1.2.7: always the ch_v daemon device;
+    * no-checkpoint baselines use the same channel as the implementation
+      they baseline (callers pass it explicitly), defaulting to ft-sock.
+    """
+    if protocol == "vcl":
+        return "ch_v"
+    return "ft_sock"
+
+
+@dataclass
+class RunResult:
+    """Everything a figure needs from one run."""
+
+    completion: float
+    waves: int
+    stats: FTStats
+    protocol: Optional[str]
+    channel: str
+    n_procs: int
+    period: Optional[float]
+    meta: Dict = field(default_factory=dict)
+
+    def row(self) -> Dict:
+        return {
+            "protocol": self.protocol or "none",
+            "channel": self.channel,
+            "p": self.n_procs,
+            "period": self.period,
+            "completion": round(self.completion, 3),
+            "waves": self.waves,
+            "blocked": round(self.stats.blocked_seconds, 3),
+            "logged_mb": round(self.stats.logged_bytes / 1e6, 3),
+        }
+
+
+def execute(
+    bench: NASBenchmark,
+    n_procs: int,
+    protocol: Optional[str],
+    profile: Profile,
+    network: str = "gige",
+    channel: Optional[str] = None,
+    n_servers: int = 1,
+    period: Optional[float] = None,
+    procs_per_node: Optional[int] = None,
+    n_compute_nodes: Optional[int] = None,
+    launcher: str = "instant",
+    seed: Optional[int] = None,
+    time_limit: float = 1e8,
+    name: str = "exp",
+) -> RunResult:
+    """Deploy and run one configuration to completion.
+
+    ``period`` is in *paper* seconds; it is scaled by the profile here, as
+    is the checkpoint image size (see :mod:`repro.harness.config`).
+    """
+    bench.validate_procs(n_procs)
+    channel = channel or default_channel(protocol, network)
+    sim = Simulator(seed=profile.seed if seed is None else seed)
+    spec = DeploymentSpec(
+        n_procs=n_procs,
+        protocol=protocol,
+        channel=channel,
+        network=network,
+        n_servers=n_servers,
+        period=profile.scaled_period(period) if period else 1.0,
+        image_bytes=bench.image_bytes(n_procs) * profile.time_scale,
+        procs_per_node=procs_per_node,
+        n_compute_nodes=n_compute_nodes,
+        launcher=launcher,
+    )
+    run = build_run(sim, spec, bench.make_app(n_procs), name=name)
+    run.start()
+    completion = sim.run_until_complete(run.completed, limit=time_limit)
+    return RunResult(
+        completion=completion,
+        waves=run.stats.waves_completed,
+        stats=run.stats,
+        protocol=protocol,
+        channel=channel,
+        n_procs=n_procs,
+        period=period,
+        meta={"network": network, "n_servers": n_servers,
+              "profile": profile.name, "bench": bench.describe(n_procs)},
+    )

@@ -1,0 +1,26 @@
+"""MPI channel implementations.
+
+Three channels reproduce the paper's communication substrates:
+
+* :class:`~repro.mpi.channels.ft_sock.FtSockChannel` — MPICH2's ft-sock (a
+  TCP sock derivative with checkpoint hooks in the request-posting path).
+* :class:`~repro.mpi.channels.ch_v.ChVChannel` — MPICH-V's ch_v device with
+  its per-process communication daemon (two extra Unix-socket hops per
+  message, single-threaded multiplexing, message logging for Vcl).
+* :class:`~repro.mpi.channels.nemesis.NemesisChannel` — shared memory
+  intranode + GM internode, with the single-send-queue *stopper request* and
+  a *delayed receive queue*.
+"""
+
+from repro.mpi.channels.base import BaseChannel, ChannelDownError
+from repro.mpi.channels.ch_v import ChVChannel
+from repro.mpi.channels.ft_sock import FtSockChannel
+from repro.mpi.channels.nemesis import NemesisChannel
+
+__all__ = [
+    "BaseChannel",
+    "ChannelDownError",
+    "ChVChannel",
+    "FtSockChannel",
+    "NemesisChannel",
+]

@@ -1,0 +1,273 @@
+"""Channel base: connection management, gating, delayed receives, hooks.
+
+A channel is one rank's communication engine.  It owns:
+
+* lazily established connections to peers (two processes connect on their
+  first communication, like MPICH2 — except channels with ``eager_connect``,
+  which build the full mesh at startup like MPICH-1's ch_p4/ch_v);
+* per-destination *send gates* and a global send gate (the Nemesis "stopper
+  request"), closed by the blocking protocol during a wave;
+* per-source *receive freezing* with a delayed receive queue: frozen sources'
+  application packets are parked and handed to matching only when the
+  protocol thaws them (after the local checkpoint).  The delayed queue is
+  deliberately **not** part of a snapshot: its packets were sent after the
+  sender's checkpoint, so a restart discards them and the sender re-sends —
+  exactly the Nemesis behaviour described in the paper (Sec. 4.2);
+* protocol hooks: control packets are routed to the attached protocol
+  endpoint, and application packets are offered to it first (the Vcl
+  protocol uses this to log in-transit messages).
+
+Channels never interpret payloads; everything above the envelope is opaque.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, Dict, Optional
+
+from repro.mpi.matching import MatchingEngine
+from repro.mpi.message import AppPacket, MarkerPacket, Packet
+from repro.net.connection import BrokenConnectionError, ConnectionEnd
+from repro.sim.primitives import Gate
+
+__all__ = ["BaseChannel", "ChannelDownError"]
+
+#: envelope bytes added to every application payload on the wire
+HEADER_BYTES = 32.0
+
+
+class ChannelDownError(ConnectionError):
+    """Raised when operating on a channel after shutdown."""
+
+
+class BaseChannel:
+    """One rank's communication engine.  Subclasses set the cost model."""
+
+    #: establish the full connection mesh at job start (MPICH-1 style)
+    eager_connect = False
+    #: human-readable channel name for traces and reports
+    channel_name = "base"
+    #: progress-engine coupling of checkpoint-image streaming (Sec. 5.2):
+    #: while this rank's image is in flight, every application send stalls
+    #: for roughly one image chunk's service time at the transfer's current
+    #: rate, scaled by this factor.  1.0 for the MPICH2 channels (the MPI
+    #: process's own engine pipelines the file to the server); small for
+    #: ch_v (the daemon's data connection decouples the transfer from the
+    #: computation — why Vcl's completion stays flat in Fig. 5).
+    transfer_coupling = 1.0
+    #: pipelining chunk of the image streaming path
+    TRANSFER_CHUNK_BYTES = 128 * 1024.0
+    #: fold per-message engine costs into delivery latency (cheap) instead
+    #: of blocking the sender (ch_v overrides: the daemon really serializes)
+    defer_send_overhead = True
+
+    def __init__(self, job: "MPIJob", rank: int) -> None:
+        self.job = job
+        self.sim = job.sim
+        self.rank = rank
+        self.matching = MatchingEngine(self.sim, rank)
+        self.conns: Dict[int, ConnectionEnd] = {}
+        self._send_gates: Dict[int, Gate] = {}
+        self.global_send_gate = Gate(self.sim, open=True, name=f"g:r{rank}")
+        self._frozen_sources: set = set()
+        self.delayed_queue: Deque[AppPacket] = deque()
+        self.protocol: Optional[Any] = None
+        self.down = False
+        self._seq = 0
+        self._receivers: list = []
+        #: the connection end streaming this rank's checkpoint image, set by
+        #: the protocol endpoint for the duration of the transfer
+        self.active_transfer_end = None
+
+    # ----------------------------------------------------------- cost model
+    def recv_overhead(self, nbytes: float) -> float:
+        """Per-message receive-side host cost (seconds); subclass hook."""
+        return 0.0
+
+    def send_overhead(self, nbytes: float) -> float:
+        """Per-message send-side host cost (seconds); subclass hook."""
+        return 0.0
+
+    # ----------------------------------------------------------------- gates
+    def send_gate(self, dst: int) -> Gate:
+        gate = self._send_gates.get(dst)
+        if gate is None:
+            gate = Gate(self.sim, open=True, name=f"g:r{self.rank}->r{dst}")
+            self._send_gates[dst] = gate
+        return gate
+
+    def close_send_gates(self, dsts) -> None:
+        for dst in dsts:
+            self.send_gate(dst).close()
+
+    def open_send_gates(self) -> None:
+        for gate in self._send_gates.values():
+            gate.open()
+
+    # --------------------------------------------------------------- freezing
+    def freeze_source(self, src: int) -> None:
+        self._frozen_sources.add(src)
+
+    def thaw_sources(self) -> None:
+        """Deliver the delayed receive queue in arrival order, then unfreeze."""
+        self._frozen_sources.clear()
+        while self.delayed_queue:
+            self._deliver_app(self.delayed_queue.popleft())
+
+    @property
+    def frozen_sources(self):
+        return frozenset(self._frozen_sources)
+
+    # ------------------------------------------------------------------ send
+    def post_send(self, dst: int, tag: int, data: Any, nbytes: float):
+        """Generator: enqueue an application message to ``dst``.
+
+        Returns the transmit-complete event.  The payload is *committed*
+        (guaranteed to reach the peer's channel or the wave's channel state)
+        once this generator returns.
+        """
+        if self.down:
+            raise ChannelDownError(f"rank {self.rank} channel is down")
+        packet = AppPacket(self.rank, tag, data, nbytes + HEADER_BYTES, self._next_seq())
+        sent = yield from self._send_packet(dst, packet, gated=True)
+        self.sim.trace.count("mpi.messages")
+        self.sim.trace.count("mpi.bytes", nbytes)
+        return sent
+
+    def send_control(self, dst: int, packet: Packet, nbytes: float):
+        """Generator: send a protocol packet, bypassing the send gates."""
+        if self.down:
+            raise ChannelDownError(f"rank {self.rank} channel is down")
+        result = yield from self._send_packet(dst, packet, gated=False)
+        return result
+
+    def _next_seq(self) -> int:
+        self._seq += 1
+        return self._seq
+
+    def _gates_open(self, dst: int) -> bool:
+        if not self.global_send_gate.is_open:
+            return False
+        gate = self._send_gates.get(dst)
+        return gate is None or gate.is_open
+
+    def _send_packet(self, dst: int, packet: Packet, gated: bool):
+        while True:
+            if gated and not self._gates_open(dst):
+                yield self.send_gate(dst).wait()
+                yield self.global_send_gate.wait()
+                continue
+            end = self.conns.get(dst)
+            if end is None:
+                end = yield from self.job.establish(self.rank, dst)
+                if self.down:
+                    raise ChannelDownError(f"rank {self.rank} channel is down")
+                continue  # gates may have moved while connecting; re-check
+            break
+        if self.down:
+            raise ChannelDownError(f"rank {self.rank} channel is down")
+        nbytes = getattr(packet, "nbytes", HEADER_BYTES)
+        overhead = self.send_overhead(nbytes)
+        if gated:
+            overhead += self.transfer_tax()
+        # Channels with ``defer_send_overhead`` push their (tiny) per-message
+        # engine costs onto the message's delivery latency instead of
+        # blocking the sender — behaviourally equivalent for microsecond
+        # costs but one event cheaper per message.  ch_v keeps the blocking
+        # path: its daemon serialization is load-bearing.
+        if overhead > 0.0 and not self.defer_send_overhead:
+            yield from self._host_cost(overhead)
+            overhead = 0.0
+        return end.send(packet, nbytes, extra_latency=overhead)
+
+    def try_fast_send(self, dst: int, tag: int, data: Any, nbytes: float):
+        """Non-yielding send when the path is clear: connection up, gates
+        open.  Returns the transmit-complete event, or None if the slow
+        (generator) path is required."""
+        if self.down:
+            raise ChannelDownError(f"rank {self.rank} channel is down")
+        end = self.conns.get(dst)
+        if end is None or not self._gates_open(dst):
+            return None
+        wire_bytes = nbytes + HEADER_BYTES
+        overhead = self.send_overhead(wire_bytes) + self.transfer_tax()
+        if overhead > 0.0 and not self.defer_send_overhead:
+            return None
+        packet = AppPacket(self.rank, tag, data, wire_bytes, self._next_seq())
+        self.sim.trace.count("mpi.messages")
+        self.sim.trace.count("mpi.bytes", nbytes)
+        return end.send(packet, wire_bytes, extra_latency=overhead)
+
+    def transfer_tax(self) -> float:
+        """Engine stall imposed on application messages while this rank's
+        checkpoint image streams to its server."""
+        end = self.active_transfer_end
+        if end is None or self.transfer_coupling <= 0.0:
+            return 0.0
+        flow = end.active_flow
+        if flow is None or not flow.active or flow.rate <= 0.0:
+            return 0.0
+        return self.transfer_coupling * self.TRANSFER_CHUNK_BYTES / flow.rate
+
+    def _host_cost(self, seconds: float):
+        """Model host CPU time for message processing; subclasses may
+        serialize this through a daemon resource."""
+        yield self.sim.timeout(seconds)
+
+    # -------------------------------------------------------------- receive
+    def attach(self, peer: int, end: ConnectionEnd) -> None:
+        """Register a connection end for ``peer`` and start receiving."""
+        self.conns[peer] = end
+        receiver = self.sim.process(
+            self._receiver(peer, end), name=f"rx:r{self.rank}<-r{peer}"
+        )
+        self._receivers.append(receiver)
+
+    def _receiver(self, peer: int, end: ConnectionEnd):
+        while True:
+            try:
+                packet = yield end.recv()
+            except ConnectionError:
+                if not self.down:
+                    self.job.notify_socket_closed(self.rank, peer)
+                return
+            overhead = self.recv_overhead(getattr(packet, "nbytes", HEADER_BYTES))
+            if overhead > 0.0:
+                yield from self._host_cost(overhead)
+            self.handle_packet(packet)
+
+    def handle_packet(self, packet: Packet) -> None:
+        if self.down:
+            return
+        if isinstance(packet, AppPacket):
+            if self.protocol is not None:
+                self.protocol.on_app_packet(packet)
+            if packet.src in self._frozen_sources:
+                self.delayed_queue.append(packet)
+                self.sim.trace.count("channel.delayed_packets")
+            else:
+                self._deliver_app(packet)
+        else:
+            if self.protocol is not None:
+                self.protocol.on_control(packet)
+            else:
+                self.job.on_unclaimed_control(self.rank, packet)
+
+    def _deliver_app(self, packet: AppPacket) -> None:
+        self.matching.deliver(packet)
+
+    # -------------------------------------------------------------- shutdown
+    def shutdown(self, error: Optional[BaseException] = None) -> None:
+        """Tear the channel down (process killed or job dismantled)."""
+        if self.down:
+            return
+        self.down = True
+        error = error or ChannelDownError(f"rank {self.rank} shut down")
+        for end in self.conns.values():
+            end.connection.break_()
+        self.conns.clear()
+        self.matching.fail_all(error)
+        for receiver in self._receivers:
+            receiver.interrupt(error)
+        self._receivers.clear()
+        self.delayed_queue.clear()

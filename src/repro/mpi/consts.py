@@ -1,0 +1,31 @@
+"""MPI constants and tag-space layout."""
+
+from __future__ import annotations
+
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "MAX_USER_TAG",
+    "COLLECTIVE_TAG_BASE",
+    "EAGER_THRESHOLD",
+]
+
+#: wildcard source for receives
+ANY_SOURCE = -1
+
+#: wildcard tag for receives
+ANY_TAG = -1
+
+#: user tags must stay below this; collectives use the space above it
+MAX_USER_TAG = 1 << 20
+
+#: base of the reserved tag space used by collective operations.  Each
+#: collective call on a communicator gets a unique tag derived from the
+#: communicator's collective sequence number, so user traffic can never match
+#: collective traffic.
+COLLECTIVE_TAG_BASE = 1 << 20
+
+#: messages at or below this size are sent eagerly; larger ones behave the
+#: same in this model but the constant is exposed for the channel layer and
+#: future rendezvous modelling
+EAGER_THRESHOLD = 64 * 1024

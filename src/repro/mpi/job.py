@@ -1,0 +1,186 @@
+"""The MPI job: ranks, channels, lazy connections, and lifecycle.
+
+An :class:`MPIJob` binds one application function to a set of endpoints on a
+network, one :class:`~repro.mpi.context.RankContext` per rank.  Connections
+between ranks are established on the first communication between them
+(MPICH2 semantics); channels with ``eager_connect`` (MPICH-1/ch_v) build the
+full mesh during :meth:`start`.
+
+The job is the unit of failure handling: a node death surfaces as socket
+closures, which the channels report through :meth:`notify_socket_closed`; the
+attached failure listener (the dispatcher or FTPM of :mod:`repro.runtime`)
+then kills the job and drives recovery, recreating a new job from the last
+completed checkpoint wave's snapshots.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.mpi.context import RankContext, Snapshot
+from repro.mpi.message import Packet
+from repro.net.topology import BaseNetwork, Endpoint
+from repro.sim.process import Interrupt
+
+__all__ = ["MPIJob"]
+
+#: TCP-style connection establishment: one round trip before data flows
+_HANDSHAKE_RTTS = 2.0
+
+
+class MPIJob:
+    """One parallel application run."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        net: BaseNetwork,
+        endpoints: Sequence[Endpoint],
+        app_factory: Callable[[RankContext], Any],
+        channel_cls: type,
+        name: str = "job",
+        image_bytes: float = 0.0,
+    ) -> None:
+        self.sim = sim
+        self.net = net
+        self.endpoints = list(endpoints)
+        self.size = len(self.endpoints)
+        if self.size < 1:
+            raise ValueError("a job needs at least one rank")
+        self.app_factory = app_factory
+        self.name = name
+        self.channels = [channel_cls(self, rank) for rank in range(self.size)]
+        per_rank = image_bytes if callable(image_bytes) else (lambda _r: image_bytes)
+        self.contexts = [
+            RankContext(self, rank, self.size, self.channels[rank],
+                        image_bytes=float(per_rank(rank)))
+            for rank in range(self.size)
+        ]
+        self.app_processes: List["Process"] = []
+        self.completed = sim.event(name=f"{name}:completed")
+        self.failure_listener: Optional[Callable[[int, Optional[int]], None]] = None
+        self._links: Dict[Tuple[int, int], "Event"] = {}
+        self._finished = 0
+        self._started = False
+        self.killed = False
+
+    # ------------------------------------------------------------- lifecycle
+    def start(
+        self,
+        snapshots: Optional[Sequence[Optional[Snapshot]]] = None,
+        start_delays: Optional[Sequence[float]] = None,
+    ) -> None:
+        """Spawn every rank's application process.
+
+        ``snapshots`` restores each rank from a checkpoint before execution
+        (restart path).  ``start_delays`` models launch skew (ssh spawning).
+        """
+        if self._started:
+            raise RuntimeError(f"job {self.name} already started")
+        self._started = True
+        if snapshots is not None:
+            for rank, snapshot in enumerate(snapshots):
+                if snapshot is not None:
+                    self.contexts[rank].restore_snapshot(snapshot)
+        if self.channels and self.channels[0].eager_connect:
+            self.sim.process(self._mesh_connect(), name=f"{self.name}:mesh")
+        for rank in range(self.size):
+            delay = 0.0 if start_delays is None else start_delays[rank]
+            process = self.sim.process(
+                self._app_wrapper(rank, delay), name=f"{self.name}:r{rank}"
+            )
+            self.app_processes.append(process)
+
+    def _mesh_connect(self):
+        for a in range(self.size):
+            for b in range(a + 1, self.size):
+                if self.killed:
+                    return
+                yield from self.establish(a, b)
+
+    def _app_wrapper(self, rank: int, delay: float):
+        if delay > 0.0:
+            yield self.sim.timeout(delay)
+        context = self.contexts[rank]
+        try:
+            result = yield from self.app_factory(context)
+        except Interrupt:
+            raise  # killed: let the process machinery absorb it
+        except ConnectionError:
+            # A peer vanished mid-operation; report and park this rank until
+            # the runtime tears the job down.
+            self.notify_socket_closed(rank, None)
+            return None
+        self._finished += 1
+        self.sim.trace.record(self.sim.now, "app.rank_done", job=self.name, rank=rank)
+        if self._finished == self.size and not self.completed.triggered:
+            self.completed.succeed(self.sim.now)
+        return result
+
+    def kill(self) -> None:
+        """Tear everything down: channels, connections, rank processes."""
+        if self.killed:
+            return
+        self.killed = True
+        for channel in self.channels:
+            channel.shutdown()
+        for process in self.app_processes:
+            process.interrupt("job killed")
+
+    @property
+    def running(self) -> bool:
+        return self._started and not self.killed and not self.completed.triggered
+
+    # ------------------------------------------------------------ connections
+    def establish(self, a: int, b: int):
+        """Generator: ensure ranks ``a`` and ``b`` are connected; returns
+        rank ``a``'s connection end."""
+        key = (a, b) if a < b else (b, a)
+        ready = self._links.get(key)
+        if ready is None:
+            ready = self.sim.event(name=f"{self.name}:link{key}")
+            self._links[key] = ready
+            lo, hi = key
+            try:
+                connection = self.net.connect(self.endpoints[lo], self.endpoints[hi])
+                yield self.sim.timeout(_HANDSHAKE_RTTS * connection.end_a.latency)
+                if self.killed:
+                    connection.break_()
+                    raise ConnectionResetError(
+                        f"job {self.name} killed during connect"
+                    )
+            except BaseException as error:
+                # Wake every rank queued behind this handshake; otherwise a
+                # refused connection deadlocks them forever.
+                del self._links[key]
+                if not ready.triggered:
+                    ready.defused = True
+                    if isinstance(error, Exception):
+                        ready.fail(error)
+                    else:
+                        ready.fail(ConnectionResetError("connect aborted"))
+                raise
+            self.channels[lo].attach(hi, connection.end_a)
+            self.channels[hi].attach(lo, connection.end_b)
+            ready.succeed()
+        elif not ready.processed:
+            yield ready
+        end = self.channels[a].conns.get(b)
+        if end is None:
+            raise ConnectionResetError(f"link {a}<->{b} vanished during establish")
+        return end
+
+    # --------------------------------------------------------------- failure
+    def notify_socket_closed(self, rank: int, peer: Optional[int]) -> None:
+        """A channel observed an unexpected socket closure."""
+        self.sim.trace.record(
+            self.sim.now, "job.socket_closed", job=self.name, rank=rank, peer=peer
+        )
+        if self.failure_listener is not None:
+            self.failure_listener(rank, peer)
+
+    def on_unclaimed_control(self, rank: int, packet: Packet) -> None:
+        """Control packet arriving with no protocol attached — a stale wave
+        message after a protocol detach; dropped, like a packet for a closed
+        port."""
+        self.sim.trace.count("job.unclaimed_control")

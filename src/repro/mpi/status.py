@@ -1,0 +1,16 @@
+"""Receive status, mirroring ``MPI_Status``."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Status"]
+
+
+@dataclass(frozen=True)
+class Status:
+    """Envelope information of a completed receive."""
+
+    source: int
+    tag: int
+    nbytes: float

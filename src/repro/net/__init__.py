@@ -1,0 +1,60 @@
+"""Network substrate: links, flows, nodes, connections and topologies.
+
+The network model has two layers:
+
+1. A *fluid-flow* bandwidth layer (:mod:`~repro.net.flows`): every transfer is
+   a flow across a path of capacity-limited directed links (NIC transmit, NIC
+   receive, cluster uplinks).  Flows sharing a link split its capacity evenly,
+   and rates are re-evaluated whenever a flow starts or ends.  This is what
+   makes checkpoint-image transfers compete with application traffic — the
+   effect at the heart of the paper's Figure 5.
+
+2. A *connection* layer (:mod:`~repro.net.connection`): TCP-like full-duplex
+   FIFO byte streams between process endpoints.  A connection serializes its
+   own sends (like a TCP socket), delivers each message one path latency after
+   its last byte leaves, and breaks loudly when either node fails — unexpected
+   socket closure is exactly how the paper's runtimes detect failures.
+
+Topologies (:mod:`~repro.net.topology`, :mod:`~repro.net.grid`) assemble nodes
+with per-node NICs (shared by the two processors of a dual-processor node) and
+fabric presets (:mod:`~repro.net.fabrics`) for Gigabit Ethernet, Myrinet/GM,
+Ethernet-over-Myrinet and the Grid'5000 WAN.
+"""
+
+from repro.net.fabrics import (
+    ETHERNET_OVER_MYRINET,
+    GIGABIT_ETHERNET,
+    GRID5000_WAN,
+    MYRINET_GM,
+    SHARED_MEMORY,
+    Fabric,
+)
+from repro.net.flows import Flow, FlowScheduler
+from repro.net.link import Link
+from repro.net.node import Disk, Node
+from repro.net.connection import BrokenConnectionError, Connection, ConnectionEnd
+from repro.net.topology import Cluster, ClusterNetwork, Endpoint
+from repro.net.grid import GridNetwork, grid5000
+
+__all__ = [
+    "BrokenConnectionError",
+    "Cluster",
+    "ClusterNetwork",
+    "Connection",
+    "ConnectionEnd",
+    "Disk",
+    "Endpoint",
+    "ETHERNET_OVER_MYRINET",
+    "Fabric",
+    "Flow",
+    "FlowScheduler",
+    "GIGABIT_ETHERNET",
+    "GRID5000_WAN",
+    "GridNetwork",
+    "grid5000",
+    "Link",
+    "MYRINET_GM",
+    "Node",
+    "SHARED_MEMORY",
+    "grid5000",
+]

@@ -1,0 +1,182 @@
+"""Fair-share fluid-flow bandwidth model.
+
+Every byte transfer in the simulation is a :class:`Flow` over a path of
+:class:`~repro.net.link.Link` objects.  A flow's instantaneous rate is::
+
+    rate = min(cap, min over links of link.capacity / link.n_flows)
+
+Whenever a flow starts, finishes or is cancelled, all flows sharing a link
+with it are *settled* (their remaining bytes advanced at the old rate) and
+re-rated.  This is a standard simplification of max-min fair sharing: it does
+not cascade freed bandwidth to flows on other links, but it is monotone,
+deterministic and captures the contention effects the paper's experiments
+depend on (checkpoint image transfers competing with MPI traffic on NICs and
+WAN uplinks).
+
+Completions are driven by generation-checked timer callbacks, so rescheduling
+a flow is O(1) and stale timers are simply ignored.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Set
+
+from repro.net.link import Link
+
+__all__ = ["Flow", "FlowScheduler"]
+
+#: bytes below which a flow counts as finished (guards float drift)
+_EPSILON_BYTES = 1e-6
+
+
+class FlowCancelled(ConnectionError):
+    """Failure value of ``flow.done`` when the flow is cancelled."""
+
+
+class Flow:
+    """One in-flight transfer across a path of links."""
+
+    __slots__ = (
+        "links",
+        "bytes_total",
+        "bytes_remaining",
+        "cap",
+        "rate",
+        "last_settle",
+        "done",
+        "finished",
+        "cancelled",
+        "_generation",
+    )
+
+    def __init__(self, links: Sequence[Link], nbytes: float, cap: Optional[float], done) -> None:
+        self.links = tuple(links)
+        self.bytes_total = float(nbytes)
+        self.bytes_remaining = float(nbytes)
+        self.cap = cap
+        self.rate = 0.0
+        self.last_settle = 0.0
+        self.done = done
+        self.finished = False
+        self.cancelled = False
+        self._generation = 0
+
+    @property
+    def active(self) -> bool:
+        return not (self.finished or self.cancelled)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "done" if self.finished else ("cancelled" if self.cancelled else "active")
+        return (
+            f"<Flow {state} {self.bytes_remaining:.0f}/{self.bytes_total:.0f}B "
+            f"@{self.rate:.3g}B/s over {[l.name for l in self.links]}>"
+        )
+
+
+class FlowScheduler:
+    """Coordinates all active flows of a simulation."""
+
+    def __init__(self, sim: "Simulator") -> None:
+        self.sim = sim
+        self.active: Set[Flow] = set()
+
+    # ----------------------------------------------------------------- start
+    def start(
+        self,
+        links: Sequence[Link],
+        nbytes: float,
+        cap: Optional[float] = None,
+    ) -> Flow:
+        """Begin a transfer; returns the flow whose ``done`` event fires when
+        the last byte has crossed the path."""
+        if nbytes < 0:
+            raise ValueError(f"negative flow size {nbytes!r}")
+        done = self.sim.event(name="flow-done")
+        flow = Flow(links, nbytes, cap, done)
+        if nbytes <= _EPSILON_BYTES or not links:
+            flow.finished = True
+            done.succeed(flow)
+            return flow
+        # Settle neighbours at their old rates before link counts change.
+        affected = self._neighbours(flow.links)
+        now = self.sim.now
+        for other in affected:
+            self._settle(other, now)
+        for link in flow.links:
+            link.flows.add(flow)
+        flow.last_settle = now
+        self.active.add(flow)
+        self._rerate(affected | {flow})
+        return flow
+
+    # ---------------------------------------------------------------- cancel
+    def cancel(self, flow: Flow) -> None:
+        """Abort a flow (broken connection); its ``done`` event fails."""
+        if not flow.active:
+            return
+        flow.cancelled = True
+        self._detach(flow)
+        if not flow.done.triggered:
+            flow.done.defused = True
+            flow.done.fail(FlowCancelled("flow cancelled"))
+
+    # -------------------------------------------------------------- internals
+    def _neighbours(self, links: Iterable[Link]) -> Set[Flow]:
+        affected: Set[Flow] = set()
+        for link in links:
+            affected |= link.flows
+        return affected
+
+    def _settle(self, flow: Flow, now: float) -> None:
+        if flow.rate > 0.0:
+            elapsed = now - flow.last_settle
+            if elapsed > 0.0:
+                flow.bytes_remaining = max(
+                    0.0, flow.bytes_remaining - flow.rate * elapsed
+                )
+        flow.last_settle = now
+
+    def _rate_of(self, flow: Flow) -> float:
+        rate = min(link.fair_share() for link in flow.links)
+        if flow.cap is not None:
+            rate = min(rate, flow.cap)
+        return rate
+
+    def _rerate(self, flows: Iterable[Flow]) -> None:
+        for flow in flows:
+            if not flow.active:
+                continue
+            flow.rate = self._rate_of(flow)
+            self._schedule_finish(flow)
+
+    def _schedule_finish(self, flow: Flow) -> None:
+        flow._generation += 1
+        generation = flow._generation
+        if flow.rate <= 0.0:  # pragma: no cover - capacities are positive
+            return
+        remaining = max(flow.bytes_remaining, 0.0) / flow.rate
+        self.sim.call_at(remaining, self._on_timer, flow, generation)
+
+    def _on_timer(self, flow: Flow, generation: int) -> None:
+        if not flow.active or flow._generation != generation:
+            return  # stale timer
+        now = self.sim.now
+        self._settle(flow, now)
+        if flow.bytes_remaining <= _EPSILON_BYTES:
+            flow.finished = True
+            flow.bytes_remaining = 0.0
+            self._detach(flow)
+            flow.done.succeed(flow)
+        else:  # pragma: no cover - float drift safety net
+            self._schedule_finish(flow)
+
+    def _detach(self, flow: Flow) -> None:
+        self.active.discard(flow)
+        affected: Set[Flow] = set()
+        for link in flow.links:
+            link.flows.discard(flow)
+            affected |= link.flows
+        now = self.sim.now
+        for other in affected:
+            self._settle(other, now)
+        self._rerate(affected)

@@ -1,0 +1,41 @@
+"""Directed capacity-limited links.
+
+A :class:`Link` is pure bookkeeping — the set of flows currently crossing it
+and its capacity.  Rate arithmetic lives in
+:class:`~repro.net.flows.FlowScheduler`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Set
+
+__all__ = ["Link"]
+
+
+class Link:
+    """A directed link with a fixed capacity in bytes/second.
+
+    Capacity is split evenly among the flows crossing the link (fair-share
+    fluid model, see :mod:`repro.net.flows`).
+    """
+
+    __slots__ = ("name", "capacity", "flows")
+
+    def __init__(self, name: str, capacity: float) -> None:
+        if capacity <= 0:
+            raise ValueError(f"link {name!r}: capacity must be positive")
+        self.name = name
+        self.capacity = float(capacity)
+        self.flows: Set["Flow"] = set()
+
+    @property
+    def n_flows(self) -> int:
+        return len(self.flows)
+
+    def fair_share(self) -> float:
+        """Capacity available to each flow currently on the link."""
+        n = len(self.flows)
+        return self.capacity if n <= 1 else self.capacity / n
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Link {self.name} cap={self.capacity:.3g}B/s flows={len(self.flows)}>"

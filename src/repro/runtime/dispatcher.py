@@ -1,0 +1,63 @@
+"""The MPICH-V dispatcher (Sec. 4.1) — Vcl's launch/monitor environment.
+
+The dispatcher starts the servers, then the MPI processes over *sequential*
+ssh, monitors every process through dedicated sockets, and assumes a failure
+on any unexpected socket closure.
+
+The scalability-limiting detail the paper calls out (Sec. 5.4): the
+dispatcher multiplexes all of its sockets with ``select()``, whose fd set is
+capped at 1024 on Linux, and each node costs up to **3** sockets (alive
+messages, stdin, stdout).  "This precludes tests with more than 300
+processes" — :meth:`Dispatcher.validate` enforces exactly that bound, which
+is why the paper's large-scale (grid) experiments run Pcl only.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.ft.recovery import InstantLauncher
+from repro.runtime.ssh import SshSpawner
+
+__all__ = ["Dispatcher", "ScaleLimitError", "SELECT_FD_LIMIT", "SOCKETS_PER_PROCESS"]
+
+#: Linux FD_SETSIZE: a file-descriptor set holds at most 1024/8 bytes
+SELECT_FD_LIMIT = 1024
+
+#: sockets the dispatcher opens per MPI process (alive + stdin + stdout)
+SOCKETS_PER_PROCESS = 3
+
+#: descriptors the dispatcher burns on itself (listeners, servers, logs)
+RESERVED_FDS = 16
+
+
+class ScaleLimitError(RuntimeError):
+    """The runtime environment cannot manage this many processes."""
+
+
+class Dispatcher(InstantLauncher):
+    """MPICH-V launcher with the select() scalability wall."""
+
+    def __init__(self, ssh: SshSpawner = None,
+                 failure_cleanup_seconds: float = 1.0) -> None:
+        self.ssh = ssh if ssh is not None else SshSpawner(concurrency=1)
+        self.failure_cleanup_seconds = failure_cleanup_seconds
+
+    def max_processes(self) -> int:
+        return (SELECT_FD_LIMIT - RESERVED_FDS) // SOCKETS_PER_PROCESS
+
+    def validate(self, n_ranks: int) -> None:
+        limit = self.max_processes()
+        if n_ranks > limit:
+            raise ScaleLimitError(
+                f"MPICH-V dispatcher: {n_ranks} processes need "
+                f"{n_ranks * SOCKETS_PER_PROCESS} sockets, but select() "
+                f"multiplexing caps the dispatcher at ~{limit} processes"
+            )
+
+    def spawn_delays(self, n_ranks: int) -> List[float]:
+        return self.ssh.delays(n_ranks)
+
+    def respawn_lead_time(self) -> float:
+        """Signal every survivor to exit, reap, rebuild the machine list."""
+        return self.failure_cleanup_seconds

@@ -1,0 +1,187 @@
+"""High-level deployment: build a fault-tolerant run from a specification.
+
+This is the programmatic equivalent of the paper's job launch: pick a
+platform (Gigabit-Ethernet cluster, Myrinet cluster, or the Grid'5000
+slice), a channel, a protocol and a checkpoint-server count, and get back a
+ready-to-start :class:`~repro.ft.recovery.FTRun`.
+
+The fabric follows the channel on Myrinet hardware, as in Sec. 5.3: the
+Nemesis channel drives GM natively while the TCP-based implementations
+(Pcl/ft-sock and Vcl/ch_v) run Ethernet emulation on the same Myri2000
+cards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+from repro.ft import (
+    CheckpointServer,
+    FTRun,
+    InstantLauncher,
+    PclProtocol,
+    VclProtocol,
+)
+from repro.ft.image import FORK_LATENCY
+from repro.mpi.channels import ChVChannel, FtSockChannel, NemesisChannel
+from repro.net import (
+    ClusterNetwork,
+    ETHERNET_OVER_MYRINET,
+    GIGABIT_ETHERNET,
+    GridNetwork,
+    MYRINET_GM,
+    grid5000,
+)
+from repro.net.topology import Endpoint
+from repro.runtime.dispatcher import Dispatcher
+from repro.runtime.ftpm import FTPM
+from repro.sim import Simulator
+
+__all__ = ["DeploymentSpec", "build_run", "CHANNELS"]
+
+CHANNELS = {
+    "ft_sock": FtSockChannel,
+    "ch_v": ChVChannel,
+    "nemesis": NemesisChannel,
+}
+
+
+@dataclass
+class DeploymentSpec:
+    """Everything needed to deploy one fault-tolerant MPI run."""
+
+    n_procs: int
+    protocol: Optional[str] = "pcl"  # "pcl" | "vcl" | None (no checkpointing)
+    channel: str = "ft_sock"  # "ft_sock" | "ch_v" | "nemesis"
+    network: str = "gige"  # "gige" | "myrinet" | "grid5000"
+    n_servers: int = 1
+    period: float = 30.0
+    image_bytes: Union[float, Callable[[int], float]] = 32e6
+    n_compute_nodes: Optional[int] = None
+    procs_per_node: Optional[int] = None
+    fork_latency: float = FORK_LATENCY
+    launcher: str = "auto"  # "auto" | "dispatcher" | "ftpm" | "instant"
+    restart_policy: str = "same-node"
+
+    def __post_init__(self) -> None:
+        if self.protocol not in ("pcl", "vcl", None):
+            raise ValueError(f"unknown protocol {self.protocol!r}")
+        if self.channel not in CHANNELS:
+            raise ValueError(f"unknown channel {self.channel!r}")
+        if self.network not in ("gige", "myrinet", "grid5000"):
+            raise ValueError(f"unknown network {self.network!r}")
+        if self.n_servers < 1:
+            raise ValueError("need at least one checkpoint server")
+
+
+def _fabric_for(spec: DeploymentSpec):
+    if spec.network == "myrinet":
+        return MYRINET_GM if spec.channel == "nemesis" else ETHERNET_OVER_MYRINET
+    return GIGABIT_ETHERNET
+
+
+def _make_launcher(spec: DeploymentSpec):
+    choice = spec.launcher
+    if choice == "auto":
+        if spec.protocol == "vcl":
+            choice = "dispatcher"
+        elif spec.protocol == "pcl":
+            choice = "ftpm"
+        else:
+            choice = "instant"
+    return {
+        "dispatcher": Dispatcher,
+        "ftpm": FTPM,
+        "instant": InstantLauncher,
+    }[choice]()
+
+
+def _assign_servers_by_site(endpoints: Sequence[Endpoint],
+                            servers: Sequence[CheckpointServer]) -> Dict[int, CheckpointServer]:
+    """Prefer a checkpoint server in the rank's own cluster (the grid
+    experiments use "a local machine" as each node's server)."""
+    by_site: Dict[str, List[CheckpointServer]] = {}
+    for server in servers:
+        by_site.setdefault(server.node.cluster, []).append(server)
+    mapping: Dict[int, CheckpointServer] = {}
+    rr_per_site: Dict[str, int] = {}
+    for rank, endpoint in enumerate(endpoints):
+        site = endpoint.node.cluster
+        local = by_site.get(site)
+        if local:
+            index = rr_per_site.get(site, 0)
+            mapping[rank] = local[index % len(local)]
+            rr_per_site[site] = index + 1
+        else:
+            mapping[rank] = servers[rank % len(servers)]
+    return mapping
+
+
+def build_run(
+    sim: Simulator,
+    spec: DeploymentSpec,
+    app_factory: Callable,
+    name: str = "run",
+) -> FTRun:
+    """Assemble network, servers, scheduler, launcher and protocol."""
+    fabric = _fabric_for(spec)
+    want_scheduler = spec.protocol == "vcl"
+
+    if spec.network == "grid5000":
+        net = grid5000(sim, intra_fabric=fabric)
+        all_nodes = net.all_nodes()
+        # Spread the service machines over distinct sites.
+        clusters = list(net.clusters.values())
+        service_nodes = []
+        for i in range(spec.n_servers + (1 if want_scheduler else 0)):
+            cluster = clusters[i % len(clusters)]
+            node = next(n for n in cluster.nodes if not n.service)
+            node.service = True
+            service_nodes.append(node)
+    else:
+        per_node = spec.procs_per_node
+        if spec.n_compute_nodes is not None:
+            n_compute = spec.n_compute_nodes
+        elif per_node is not None:
+            n_compute = -(-spec.n_procs // per_node)
+        else:
+            n_compute = spec.n_procs
+        n_service = spec.n_servers + (1 if want_scheduler else 0)
+        net = ClusterNetwork(sim, n_nodes=n_compute + n_service, fabric=fabric,
+                             name=name)
+        service_nodes = net.nodes[n_compute:]
+        for node in service_nodes:
+            node.service = True
+
+    endpoints = net.place(spec.n_procs, procs_per_node=spec.procs_per_node)
+    servers = [
+        CheckpointServer(sim, net, service_nodes[i], name=f"{name}:cs{i}")
+        for i in range(spec.n_servers)
+    ]
+    scheduler_node = service_nodes[-1] if want_scheduler else None
+
+    protocol_factory = None
+    if spec.protocol is not None:
+
+        def protocol_factory(job, run):
+            kwargs = dict(
+                server_map=run.server_map,
+                period=spec.period,
+                stats=run.stats,
+                local_images=run.local_images,
+                fork_latency=spec.fork_latency,
+            )
+            if spec.protocol == "pcl":
+                return PclProtocol(job, **kwargs)
+            return VclProtocol(job, scheduler_node=scheduler_node, **kwargs)
+
+    run = FTRun(
+        sim, net, endpoints, app_factory, CHANNELS[spec.channel],
+        protocol_factory, servers, launcher=_make_launcher(spec),
+        image_bytes=spec.image_bytes, name=name,
+        restart_policy=spec.restart_policy,
+    )
+    if spec.network == "grid5000":
+        run.server_map = _assign_servers_by_site(endpoints, servers)
+    return run

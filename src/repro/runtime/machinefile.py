@@ -1,0 +1,130 @@
+"""Machinefile parsing with checkpoint-server mapping.
+
+The paper modifies the machinefile format "to add the specification of the
+mapping between machines used as computing nodes and machines used as
+checkpoint servers" (Sec. 4.2).  The format accepted here::
+
+    # comment
+    node001                      # compute host, 1 slot
+    node002:2                    # compute host, 2 slots
+    node003:2 ckpt=server01      # compute host assigned to a named server
+    server01 role=server         # checkpoint server machine
+    sched01  role=scheduler      # Vcl checkpoint scheduler machine
+
+Compute hosts without an explicit ``ckpt=`` are distributed round-robin over
+the declared servers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = ["MachineEntry", "Machinefile", "parse_machinefile"]
+
+
+@dataclass(frozen=True)
+class MachineEntry:
+    """One parsed machinefile line."""
+
+    hostname: str
+    slots: int = 1
+    role: str = "compute"  # compute | server | scheduler
+    server: Optional[str] = None  # explicit ckpt server assignment
+
+
+@dataclass
+class Machinefile:
+    """Parsed deployment description."""
+
+    compute: List[MachineEntry] = field(default_factory=list)
+    servers: List[MachineEntry] = field(default_factory=list)
+    scheduler: Optional[MachineEntry] = None
+
+    @property
+    def total_slots(self) -> int:
+        return sum(entry.slots for entry in self.compute)
+
+    def server_for(self, index: int) -> str:
+        """Server hostname for the ``index``-th compute machine."""
+        if not self.servers:
+            raise ValueError("machinefile declares no checkpoint servers")
+        entry = self.compute[index]
+        if entry.server is not None:
+            return entry.server
+        return self.servers[index % len(self.servers)].hostname
+
+    def rank_server_map(self, n_ranks: int) -> Dict[int, str]:
+        """Rank -> server hostname under block placement over slots."""
+        mapping: Dict[int, str] = {}
+        rank = 0
+        # fill slot 0 of every machine first, then slot 1, etc. (the paper's
+        # deployment policy; see ClusterNetwork.place)
+        max_slots = max((e.slots for e in self.compute), default=0)
+        for slot in range(max_slots):
+            for index, entry in enumerate(self.compute):
+                if rank >= n_ranks:
+                    return mapping
+                if slot < entry.slots:
+                    mapping[rank] = self.server_for(index)
+                    rank += 1
+        if rank < n_ranks:
+            raise ValueError(
+                f"machinefile has {self.total_slots} slots, need {n_ranks}"
+            )
+        return mapping
+
+
+def parse_machinefile(text: str) -> Machinefile:
+    """Parse machinefile text; raises ValueError on malformed lines."""
+    result = Machinefile()
+    known_server_names = set()
+    deferred_server_refs: List[MachineEntry] = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        fields = line.split()
+        head = fields[0]
+        if ":" in head:
+            hostname, slots_text = head.split(":", 1)
+            try:
+                slots = int(slots_text)
+            except ValueError:
+                raise ValueError(f"line {lineno}: bad slot count {slots_text!r}")
+            if slots < 1:
+                raise ValueError(f"line {lineno}: slots must be >= 1")
+        else:
+            hostname, slots = head, 1
+        role = "compute"
+        server: Optional[str] = None
+        for option in fields[1:]:
+            if "=" not in option:
+                raise ValueError(f"line {lineno}: bad option {option!r}")
+            key, value = option.split("=", 1)
+            if key == "role":
+                if value not in ("compute", "server", "scheduler"):
+                    raise ValueError(f"line {lineno}: unknown role {value!r}")
+                role = value
+            elif key == "ckpt":
+                server = value
+            else:
+                raise ValueError(f"line {lineno}: unknown option {key!r}")
+        entry = MachineEntry(hostname, slots, role, server)
+        if role == "compute":
+            result.compute.append(entry)
+            if server is not None:
+                deferred_server_refs.append(entry)
+        elif role == "server":
+            result.servers.append(entry)
+            known_server_names.add(hostname)
+        else:
+            if result.scheduler is not None:
+                raise ValueError(f"line {lineno}: duplicate scheduler")
+            result.scheduler = entry
+    for entry in deferred_server_refs:
+        if entry.server not in known_server_names:
+            raise ValueError(
+                f"{entry.hostname}: unknown checkpoint server {entry.server!r}"
+            )
+    return result

@@ -1,0 +1,43 @@
+"""ssh-based remote process spawning cost model.
+
+Both runtimes launch remote processes with ssh (Sec. 4).  The MPICH-V
+dispatcher issues its ssh commands one after another; the FTPM does them "in
+parallel, and the number of concurrent ssh connections is bounded by a
+parameter".  The model charges a fixed per-spawn cost (connection setup +
+fork/exec of the remote binary) and schedules spawns in bounded-width waves.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+__all__ = ["SshSpawner", "DEFAULT_SPAWN_SECONDS"]
+
+#: ssh handshake + remote fork/exec on 2006-era machines
+DEFAULT_SPAWN_SECONDS = 0.25
+
+
+class SshSpawner:
+    """Computes per-process start delays for a (re)launch."""
+
+    def __init__(self, concurrency: int = 1,
+                 per_spawn: float = DEFAULT_SPAWN_SECONDS) -> None:
+        if concurrency < 1:
+            raise ValueError("ssh concurrency must be >= 1")
+        if per_spawn < 0:
+            raise ValueError("per-spawn cost cannot be negative")
+        self.concurrency = concurrency
+        self.per_spawn = per_spawn
+
+    def delays(self, n: int) -> List[float]:
+        """Start delay of each of ``n`` processes (spawn i completes after
+        ``ceil((i+1)/concurrency) * per_spawn`` seconds)."""
+        return [
+            ((i // self.concurrency) + 1) * self.per_spawn for i in range(n)
+        ]
+
+    def total_time(self, n: int) -> float:
+        """Time until the last process is up."""
+        if n == 0:
+            return 0.0
+        return self.delays(n)[-1]

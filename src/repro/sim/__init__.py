@@ -1,0 +1,48 @@
+"""Deterministic discrete-event simulation kernel.
+
+This package is the foundation every other subsystem builds on.  It provides a
+SimPy-flavoured, generator-based process model on top of a deterministic event
+heap:
+
+* :class:`~repro.sim.engine.Simulator` — the event loop and simulation clock.
+* :class:`~repro.sim.events.Event`, :class:`~repro.sim.events.Timeout`,
+  :class:`~repro.sim.events.Condition` — one-shot occurrences processes wait on.
+* :class:`~repro.sim.process.Process` — a generator driven by the events it
+  yields; supports interruption (used for failure injection).
+* :mod:`~repro.sim.primitives` — FIFO stores and counted resources.
+* :mod:`~repro.sim.rng` — named, reproducible random streams.
+* :mod:`~repro.sim.trace` — structured tracing used by the benchmark harness.
+
+Determinism contract: given the same root seed and the same program, every run
+produces the identical event order.  Ties in time are broken by (priority,
+sequence number), and all randomness flows through :class:`~repro.sim.rng.RngRegistry`.
+"""
+
+from repro.sim.engine import Simulator
+from repro.sim.events import (
+    AllOf,
+    AnyOf,
+    Condition,
+    Event,
+    Timeout,
+)
+from repro.sim.process import Interrupt, Process
+from repro.sim.primitives import Resource, Store
+from repro.sim.rng import RngRegistry
+from repro.sim.trace import TraceRecord, Tracer
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Condition",
+    "Event",
+    "Interrupt",
+    "Process",
+    "Resource",
+    "RngRegistry",
+    "Simulator",
+    "Store",
+    "Timeout",
+    "TraceRecord",
+    "Tracer",
+]

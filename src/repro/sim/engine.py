@@ -1,0 +1,149 @@
+"""The simulation event loop.
+
+:class:`Simulator` owns the clock and the event heap.  Heap entries are
+``(time, priority, sequence, event)`` tuples; the monotonically increasing
+sequence number makes the order a deterministic total order, which is the
+backbone of the reproducibility guarantees the benchmark harness relies on.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
+
+from repro.sim.events import AllOf, AnyOf, Event, Timeout, NORMAL
+from repro.sim.process import Process
+from repro.sim.rng import RngRegistry
+from repro.sim.trace import Tracer
+
+__all__ = ["Simulator", "SimulationError"]
+
+
+class SimulationError(RuntimeError):
+    """Raised for misuse of the simulation kernel (e.g. time travel)."""
+
+
+class Simulator:
+    """Discrete-event simulator with a deterministic total event order.
+
+    Parameters
+    ----------
+    seed:
+        Root seed for all random streams (see :class:`~repro.sim.rng.RngRegistry`).
+    trace:
+        Optional tracer; when omitted a disabled tracer is installed so call
+        sites never need to branch.
+    """
+
+    def __init__(self, seed: int = 0, trace: Optional[Tracer] = None) -> None:
+        self._now = 0.0
+        self._heap: List[Tuple[float, int, int, Event]] = []
+        self._seq = 0
+        self.rng = RngRegistry(seed)
+        self.trace = trace if trace is not None else Tracer(enabled=False)
+
+    # ---------------------------------------------------------------- clock
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    # ------------------------------------------------------------- factories
+    def event(self, name: Optional[str] = None) -> Event:
+        """Create a pending one-shot event."""
+        return Event(self, name=name)
+
+    def timeout(self, delay: float, value: Any = None, name: Optional[str] = None) -> Timeout:
+        """Create an event that fires ``delay`` seconds from now."""
+        return Timeout(self, delay, value=value, name=name)
+
+    def process(
+        self,
+        generator: Generator[Event, Any, Any],
+        name: Optional[str] = None,
+    ) -> Process:
+        """Spawn a process driving ``generator``; starts at the current time."""
+        return Process(self, generator, name=name)
+
+    # Alias that reads better at call sites spawning many children.
+    spawn = process
+
+    def all_of(self, events: Iterable[Event], name: Optional[str] = None) -> AllOf:
+        return AllOf(self, events, name=name)
+
+    def any_of(self, events: Iterable[Event], name: Optional[str] = None) -> AnyOf:
+        return AnyOf(self, events, name=name)
+
+    def call_at(
+        self,
+        delay: float,
+        callback: Callable[..., None],
+        *args: Any,
+        name: Optional[str] = None,
+    ) -> Event:
+        """Run ``callback(*args)`` after ``delay`` seconds.
+
+        Returns the underlying timeout event (useful for cancellation by
+        removing the callback).
+        """
+        event = self.timeout(delay, name=name)
+        event.callbacks.append(lambda _ev: callback(*args))
+        return event
+
+    # ----------------------------------------------------------------- queue
+    def _push(self, event: Event, delay: float, priority: int = NORMAL) -> None:
+        if delay < 0:
+            raise SimulationError(f"cannot schedule {delay!r}s into the past")
+        self._seq += 1
+        heapq.heappush(self._heap, (self._now + delay, priority, self._seq, event))
+
+    def peek(self) -> float:
+        """Time of the next event, or ``float('inf')`` when the heap is empty."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event."""
+        if not self._heap:
+            raise SimulationError("step() on an empty event heap")
+        time, _priority, _seq, event = heapq.heappop(self._heap)
+        if time < self._now:  # pragma: no cover - guarded by _push
+            raise SimulationError("event heap went backwards in time")
+        self._now = time
+        event._process()
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the heap drains or the clock reaches ``until``.
+
+        When ``until`` is given the clock is advanced to exactly ``until``
+        even if the last event fires earlier, so back-to-back ``run`` calls
+        compose predictably.
+        """
+        if until is not None and until < self._now:
+            raise SimulationError(f"until={until!r} is in the past (now={self._now!r})")
+        while self._heap:
+            if until is not None and self._heap[0][0] > until:
+                break
+            self.step()
+        if until is not None:
+            self._now = max(self._now, until)
+
+    def run_until_complete(self, event: Event, limit: Optional[float] = None) -> Any:
+        """Run until ``event`` is processed; return its value.
+
+        Raises the event's exception if it failed, or :class:`SimulationError`
+        if the heap drains (or ``limit`` is hit) first — i.e. deadlock.
+        """
+        while not event.processed:
+            if not self._heap:
+                raise SimulationError(
+                    f"deadlock: event heap drained before {event!r} completed"
+                )
+            if limit is not None and self._heap[0][0] > limit:
+                raise SimulationError(
+                    f"time limit {limit!r} reached before {event!r} completed"
+                )
+            self.step()
+        if event.ok:
+            return event.value
+        event.defused = True
+        raise event.value

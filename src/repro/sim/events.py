@@ -1,0 +1,227 @@
+"""One-shot events for the discrete-event kernel.
+
+Events follow a small, strict life cycle::
+
+    pending --> triggered --> processed
+
+``succeed``/``fail`` move an event to *triggered* and put it on the simulator
+heap; when the simulator pops it, its callbacks run exactly once and it becomes
+*processed*.  Events are one-shot: triggering twice is a programming error and
+raises :class:`RuntimeError`.
+
+A failed event whose failure is never observed (no callbacks and not defused)
+re-raises its exception out of :meth:`repro.sim.engine.Simulator.run`; this
+mirrors SimPy and turns silently dropped errors into loud test failures.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional
+
+__all__ = ["Event", "Timeout", "Condition", "AllOf", "AnyOf"]
+
+# Heap priorities.  Lower runs earlier at equal timestamps.
+URGENT = 0
+NORMAL = 1
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    Parameters
+    ----------
+    sim:
+        The owning :class:`~repro.sim.engine.Simulator`.
+    name:
+        Optional label used in ``repr`` and traces.
+    """
+
+    __slots__ = (
+        "sim",
+        "name",
+        "callbacks",
+        "_value",
+        "_ok",
+        "_state",
+        "defused",
+    )
+
+    #: life-cycle states
+    PENDING = 0
+    TRIGGERED = 1
+    PROCESSED = 2
+
+    def __init__(self, sim: "Simulator", name: Optional[str] = None) -> None:
+        self.sim = sim
+        self.name = name
+        self.callbacks: List[Callable[["Event"], None]] = []
+        self._value: Any = None
+        self._ok: Optional[bool] = None
+        self._state = Event.PENDING
+        #: set to True once a consumer acknowledged the failure
+        self.defused = False
+
+    # ------------------------------------------------------------------ state
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been scheduled for processing."""
+        return self._state >= Event.TRIGGERED
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self._state == Event.PROCESSED
+
+    @property
+    def ok(self) -> Optional[bool]:
+        """True if succeeded, False if failed, None while pending."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's value (or exception when failed).
+
+        Only meaningful once :attr:`triggered` is true.
+        """
+        return self._value
+
+    # ------------------------------------------------------------- triggering
+    def succeed(self, value: Any = None, priority: int = NORMAL) -> "Event":
+        """Mark the event successful and schedule its callbacks for *now*."""
+        if self._state != Event.PENDING:
+            raise RuntimeError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self._state = Event.TRIGGERED
+        self.sim._push(self, 0.0, priority)
+        return self
+
+    def fail(self, exception: BaseException, priority: int = NORMAL) -> "Event":
+        """Mark the event failed and schedule its callbacks for *now*."""
+        if self._state != Event.PENDING:
+            raise RuntimeError(f"{self!r} has already been triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._ok = False
+        self._value = exception
+        self._state = Event.TRIGGERED
+        self.sim._push(self, 0.0, priority)
+        return self
+
+    # ------------------------------------------------------------- processing
+    def _process(self) -> None:
+        """Run callbacks.  Called by the simulator exactly once."""
+        self._state = Event.PROCESSED
+        callbacks, self.callbacks = self.callbacks, []
+        for callback in callbacks:
+            callback(self)
+        if self._ok is False and not self.defused:
+            # Nobody consumed the failure: surface it from run().
+            raise self._value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        label = self.name or self.__class__.__name__
+        state = ("pending", "triggered", "processed")[self._state]
+        return f"<{label} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` simulated seconds after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        delay: float,
+        value: Any = None,
+        name: Optional[str] = None,
+    ) -> None:
+        if delay < 0:
+            raise ValueError(f"negative delay {delay!r}")
+        super().__init__(sim, name=name)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        self._state = Event.TRIGGERED
+        sim._push(self, delay, NORMAL)
+
+
+class Condition(Event):
+    """An event that triggers based on the outcomes of child events.
+
+    ``evaluate`` receives (events, number_processed_ok) and returns True once
+    the condition holds.  When it triggers successfully its value is a dict
+    mapping each *processed* child event to its value.
+
+    Any child failure fails the whole condition immediately (the failure is
+    forwarded, the remaining children are left untouched).
+    """
+
+    __slots__ = ("events", "_count")
+
+    def __init__(self, sim: "Simulator", events, name: Optional[str] = None) -> None:
+        super().__init__(sim, name=name)
+        self.events = tuple(events)
+        self._count = 0
+        for event in self.events:
+            if not isinstance(event, Event):
+                raise TypeError(f"Condition child {event!r} is not an Event")
+            if event.sim is not sim:
+                raise ValueError("all condition children must share a simulator")
+        if self._evaluate_now():
+            return
+        for event in self.events:
+            if event.processed:
+                self._on_child(event)
+            else:
+                event.callbacks.append(self._on_child)
+
+    def _satisfied(self, count: int) -> bool:
+        raise NotImplementedError
+
+    def _evaluate_now(self) -> bool:
+        """Handle conditions that are satisfiable at construction time."""
+        processed_ok = sum(1 for e in self.events if e.processed and e.ok)
+        failed = next((e for e in self.events if e.processed and not e.ok), None)
+        if failed is not None:
+            failed.defused = True
+            self.fail(failed.value)
+            return True
+        self._count = processed_ok
+        if self._satisfied(processed_ok):
+            self.succeed(self._collect())
+            return True
+        return False
+
+    def _collect(self):
+        return {e: e.value for e in self.events if e.processed and e.ok}
+
+    def _on_child(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event.ok:
+            event.defused = True
+            self.fail(event.value)
+            return
+        self._count += 1
+        if self._satisfied(self._count):
+            self.succeed(self._collect())
+
+
+class AllOf(Condition):
+    """Triggers when every child has succeeded."""
+
+    __slots__ = ()
+
+    def _satisfied(self, count: int) -> bool:
+        return count >= len(self.events)
+
+
+class AnyOf(Condition):
+    """Triggers when at least one child has succeeded."""
+
+    __slots__ = ()
+
+    def _satisfied(self, count: int) -> bool:
+        return count >= 1 or not self.events

@@ -1,0 +1,179 @@
+"""Synchronization primitives built on events.
+
+* :class:`Store` — an unbounded FIFO queue with event-returning ``get``; the
+  workhorse behind sockets, progress-engine inboxes and server request queues.
+* :class:`Resource` — a counted resource with FIFO grant order; models bounded
+  things such as the number of concurrent ssh connections or a disk.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Optional
+
+from repro.sim.events import Event
+
+__all__ = ["Store", "Resource", "Gate"]
+
+
+class Store:
+    """Unbounded FIFO of items with event-based consumption.
+
+    ``put`` never blocks.  ``get`` returns an :class:`Event` that succeeds
+    with the oldest item as soon as one is available (immediately if the
+    store is non-empty).  Waiters are served strictly in request order.
+
+    ``poison`` fails all current and future getters with the given exception —
+    this is how broken connections propagate to blocked readers.
+    """
+
+    __slots__ = ("sim", "name", "_items", "_getters", "_poison")
+
+    def __init__(self, sim: "Simulator", name: Optional[str] = None) -> None:
+        self.sim = sim
+        self.name = name
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+        self._poison: Optional[BaseException] = None
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def poisoned(self) -> bool:
+        return self._poison is not None
+
+    def put(self, item: Any) -> None:
+        if self._poison is not None:
+            raise RuntimeError(f"put() on poisoned store {self.name!r}")
+        while self._getters:
+            getter = self._getters.popleft()
+            # skip cancelled/interrupted waiters: triggered already, or
+            # abandoned (the interrupted process removed its callback)
+            if getter.triggered or not getter.callbacks:
+                continue
+            getter.succeed(item)
+            return
+        self._items.append(item)
+
+    def get(self) -> Event:
+        event = self.sim.event(name=f"get:{self.name}")
+        if self._items:
+            event.succeed(self._items.popleft())
+        elif self._poison is not None:
+            event.fail(self._poison)
+        else:
+            self._getters.append(event)
+        return event
+
+    def try_get(self) -> Any:
+        """Non-blocking get; returns the item or None when empty."""
+        if self._items:
+            return self._items.popleft()
+        return None
+
+    def peek(self) -> Any:
+        return self._items[0] if self._items else None
+
+    def poison(self, exception: BaseException) -> None:
+        """Fail all pending and future getters (idempotent)."""
+        if self._poison is not None:
+            return
+        self._poison = exception
+        while self._getters:
+            getter = self._getters.popleft()
+            if not getter.triggered:
+                getter.fail(exception)
+
+    def drain(self) -> Deque[Any]:
+        """Remove and return all queued items."""
+        items, self._items = self._items, deque()
+        return items
+
+
+class Resource:
+    """Counted resource with FIFO grant order.
+
+    ``acquire`` returns an event that succeeds when a slot is granted;
+    ``release`` hands the slot to the next waiter.  There is no ownership
+    bookkeeping — callers are trusted to pair acquire/release, matching the
+    kernel-style use sites in this codebase.
+    """
+
+    __slots__ = ("sim", "capacity", "_in_use", "_waiters", "name")
+
+    def __init__(self, sim: "Simulator", capacity: int, name: Optional[str] = None) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self._in_use = 0
+        self._waiters: Deque[Event] = deque()
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    @property
+    def queued(self) -> int:
+        return len(self._waiters)
+
+    def acquire(self) -> Event:
+        event = self.sim.event(name=f"acquire:{self.name}")
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            event.succeed()
+        else:
+            self._waiters.append(event)
+        return event
+
+    def release(self) -> None:
+        while self._waiters:
+            waiter = self._waiters.popleft()
+            if waiter.triggered or not waiter.callbacks:  # cancelled waiter
+                continue
+            waiter.succeed()
+            return
+        if self._in_use <= 0:
+            raise RuntimeError(f"release() without acquire on {self.name!r}")
+        self._in_use -= 1
+
+
+class Gate:
+    """A reusable open/closed barrier.
+
+    While open, ``wait`` completes immediately; while closed, waiters queue
+    until the next ``open()``.  Used by the blocking (Pcl) protocol to freeze
+    sends/receives per channel during a checkpoint wave.
+    """
+
+    __slots__ = ("sim", "name", "_open", "_waiters")
+
+    def __init__(self, sim: "Simulator", open: bool = True, name: Optional[str] = None) -> None:
+        self.sim = sim
+        self.name = name
+        self._open = open
+        self._waiters: Deque[Event] = deque()
+
+    @property
+    def is_open(self) -> bool:
+        return self._open
+
+    def close(self) -> None:
+        self._open = False
+
+    def open(self) -> None:
+        self._open = True
+        waiters, self._waiters = self._waiters, deque()
+        for waiter in waiters:
+            if not waiter.triggered and waiter.callbacks:
+                waiter.succeed()
+
+    def wait(self) -> Event:
+        event = self.sim.event(name=f"gate:{self.name}")
+        if self._open:
+            event.succeed()
+        else:
+            self._waiters.append(event)
+        return event

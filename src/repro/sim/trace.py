@@ -1,0 +1,87 @@
+"""Structured tracing and counters.
+
+The harness reconstructs everything it reports (wave counts, overhead
+decompositions, bytes moved) from traces, so the trace layer is a first-class
+part of the reproduction rather than debug output.
+
+Records are cheap plain tuples; when a category is not enabled the record call
+is a single dict lookup and a branch.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+__all__ = ["TraceRecord", "Tracer"]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One trace entry."""
+
+    time: float
+    category: str
+    fields: Tuple[Tuple[str, Any], ...]
+
+    def get(self, key: str, default: Any = None) -> Any:
+        for name, value in self.fields:
+            if name == key:
+                return value
+        return default
+
+    def as_dict(self) -> Dict[str, Any]:
+        return dict(self.fields)
+
+
+class Tracer:
+    """Collects :class:`TraceRecord` entries and scalar counters.
+
+    Parameters
+    ----------
+    enabled:
+        Master switch.  A disabled tracer still accumulates counters (they are
+        nearly free and the harness always needs them) but drops records.
+    categories:
+        When given, only these categories are recorded.
+    """
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        categories: Optional[Iterable[str]] = None,
+    ) -> None:
+        self.enabled = enabled
+        self.categories: Optional[Set[str]] = set(categories) if categories else None
+        self.records: List[TraceRecord] = []
+        self.counters: Counter = Counter()
+
+    # --------------------------------------------------------------- records
+    def record(self, time: float, category: str, **fields: Any) -> None:
+        if not self.enabled:
+            return
+        if self.categories is not None and category not in self.categories:
+            return
+        self.records.append(TraceRecord(time, category, tuple(fields.items())))
+
+    def select(self, category: str) -> Iterator[TraceRecord]:
+        """All records of ``category`` in chronological order."""
+        return (r for r in self.records if r.category == category)
+
+    def last(self, category: str) -> Optional[TraceRecord]:
+        for record in reversed(self.records):
+            if record.category == category:
+                return record
+        return None
+
+    # -------------------------------------------------------------- counters
+    def count(self, key: str, increment: float = 1) -> None:
+        self.counters[key] += increment
+
+    def __getitem__(self, key: str) -> float:
+        return self.counters[key]
+
+    def clear(self) -> None:
+        self.records.clear()
+        self.counters.clear()

@@ -1,0 +1,71 @@
+"""Minimal ASCII line plots for terminal reports.
+
+The harness tables carry the exact numbers; these plots make trends (the
+U-shape of the MTTF sweep, the linear time-vs-waves lines) visible at a
+glance in a terminal or CI log without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+__all__ = ["ascii_plot"]
+
+_MARKERS = "*o+x#@%&"
+
+
+def ascii_plot(
+    series: Sequence[Tuple[str, Sequence[float], Sequence[float]]],
+    width: int = 64,
+    height: int = 16,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render ``[(label, xs, ys), ...]`` as an ASCII scatter/line chart.
+
+    Points from different series get different markers; collisions show the
+    later series' marker.  Returns a multi-line string.
+    """
+    if width < 16 or height < 4:
+        raise ValueError("plot area too small")
+    points = [
+        (x, y, index)
+        for index, (_label, xs, ys) in enumerate(series)
+        for x, y in zip(xs, ys)
+    ]
+    if not points:
+        return "(no data)\n"
+    xs_all = [p[0] for p in points]
+    ys_all = [p[1] for p in points]
+    x_lo, x_hi = min(xs_all), max(xs_all)
+    y_lo, y_hi = min(ys_all), max(ys_all)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid: List[List[str]] = [[" "] * width for _ in range(height)]
+    for x, y, index in points:
+        col = int(round((x - x_lo) / x_span * (width - 1)))
+        row = height - 1 - int(round((y - y_lo) / y_span * (height - 1)))
+        grid[row][col] = _MARKERS[index % len(_MARKERS)]
+
+    lines: List[str] = []
+    top_label = f"{y_hi:.3g}"
+    bottom_label = f"{y_lo:.3g}"
+    margin = max(len(top_label), len(bottom_label)) + 1
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            prefix = top_label.rjust(margin)
+        elif row_index == height - 1:
+            prefix = bottom_label.rjust(margin)
+        else:
+            prefix = " " * margin
+        lines.append(f"{prefix}|" + "".join(row))
+    lines.append(" " * margin + "+" + "-" * width)
+    x_axis = f"{x_lo:.3g}".ljust(width - 8) + f"{x_hi:.3g}".rjust(8)
+    lines.append(" " * (margin + 1) + x_axis)
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} {label}"
+        for i, (label, _xs, _ys) in enumerate(series)
+    )
+    lines.append(f"{y_label} vs {x_label}:   {legend}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,85 @@
+"""A NetPIPE-style network performance probe.
+
+The paper measures the raw Grid'5000 platform with NetPIPE (Sec. 5.4): a
+ping-pong test over a sweep of message sizes with small perturbations of
+each size, reporting latency and bandwidth.  That measurement is what the
+WAN fabric parameters encode, so this tool doubles as the calibration check:
+run it intra-cluster and inter-cluster and compare the ratios against the
+paper's "up to 20 times" bandwidth and "two orders of magnitude" latency
+observations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.apps.synthetic import ping_pong
+from repro.mpi import FtSockChannel, MPIJob
+from repro.net.topology import BaseNetwork, Endpoint
+
+__all__ = ["NetpipeSample", "run_netpipe", "DEFAULT_SIZES"]
+
+#: NetPIPE's classic sweep: powers of two with +/- perturbations
+DEFAULT_SIZES = tuple(
+    size + delta
+    for base in (1, 64, 1024, 16 * 1024, 256 * 1024, 1024 * 1024)
+    for size, delta in ((base, 0), (base, -3), (base, 3))
+    if size + delta > 0
+)
+
+
+@dataclass(frozen=True)
+class NetpipeSample:
+    """One measured point of the sweep."""
+
+    nbytes: float
+    rtt: float
+
+    @property
+    def latency(self) -> float:
+        """One-way latency estimate."""
+        return self.rtt / 2.0
+
+    @property
+    def bandwidth(self) -> float:
+        """Application-visible throughput in bytes/second."""
+        return 2.0 * self.nbytes / self.rtt if self.rtt > 0 else float("inf")
+
+
+def run_netpipe(
+    sim: "Simulator",
+    net: BaseNetwork,
+    a: Endpoint,
+    b: Endpoint,
+    sizes: Optional[Sequence[float]] = None,
+    repeats: int = 3,
+    channel_cls: type = FtSockChannel,
+) -> List[NetpipeSample]:
+    """Ping-pong between two endpoints; returns one sample per size."""
+    sizes = tuple(sizes) if sizes is not None else DEFAULT_SIZES
+    samples: List[NetpipeSample] = []
+    for nbytes in sizes:
+        job = MPIJob(
+            sim, net, [a, b], ping_pong(repeats, float(nbytes)), channel_cls,
+            name=f"netpipe:{int(nbytes)}",
+        )
+        job.start()
+        sim.run_until_complete(job.completed)
+        rtts = job.contexts[0].state["rtts"]
+        # drop the first round trip: it pays connection establishment
+        steady = rtts[1:] if len(rtts) > 1 else rtts
+        samples.append(NetpipeSample(float(nbytes), sum(steady) / len(steady)))
+        job.kill()
+    return samples
+
+
+def summarize(samples: Sequence[NetpipeSample]) -> dict:
+    """Headline numbers: small-message latency, large-message bandwidth."""
+    smallest = min(samples, key=lambda s: s.nbytes)
+    largest = max(samples, key=lambda s: s.nbytes)
+    return {
+        "latency": smallest.latency,
+        "bandwidth": largest.bandwidth,
+        "points": len(samples),
+    }

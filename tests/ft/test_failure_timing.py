@@ -1,0 +1,83 @@
+"""Stress: failures injected at awkward instants — during marker exchange,
+mid-image-transfer, right after a commit — must all recover correctly."""
+
+import pytest
+
+from repro.sim import Simulator
+
+from tests.ft.conftest import assert_ring_result, build_ft_run, ring_app_factory
+
+
+@pytest.mark.parametrize("protocol", ["pcl", "vcl"])
+@pytest.mark.parametrize("kill_at", [
+    1.005,   # during the first wave's marker exchange / snapshot
+    1.05,    # during image transfers
+    1.35,    # shortly after the wave commits
+    2.02,    # inside the second wave
+])
+def test_recovery_from_mid_wave_failures(protocol, kill_at):
+    sim = Simulator(seed=13)
+    run, _ = build_ft_run(
+        sim, ring_app_factory(iters=25, work=0.2, nbytes=20_000), size=4,
+        protocol=protocol, period=1.0, image_bytes=4e6, fork_latency=0.02)
+    run.start()
+    run.schedule_task_kill(2, kill_at)
+    sim.run_until_complete(run.completed, limit=10000)
+    assert run.stats.failures == 1
+    assert run.stats.restarts == 1
+    assert_ring_result(run, iters=25)
+
+
+@pytest.mark.parametrize("protocol", ["pcl", "vcl"])
+def test_kill_rank_zero(protocol):
+    """Rank 0 is special (Pcl initiator); killing it must still recover."""
+    sim = Simulator(seed=13)
+    run, _ = build_ft_run(sim, ring_app_factory(iters=20, work=0.2), size=4,
+                          protocol=protocol, period=1.0, image_bytes=2e6)
+    run.start()
+    run.schedule_task_kill(0, 2.4)
+    sim.run_until_complete(run.completed, limit=10000)
+    assert run.stats.restarts == 1
+    assert_ring_result(run, iters=20)
+
+
+def test_failure_in_every_rank_one_at_a_time():
+    for victim in range(4):
+        sim = Simulator(seed=13)
+        run, _ = build_ft_run(sim, ring_app_factory(iters=15, work=0.2),
+                              size=4, protocol="pcl", period=1.0,
+                              image_bytes=2e6)
+        run.start()
+        run.schedule_task_kill(victim, 2.2)
+        sim.run_until_complete(run.completed, limit=10000)
+        assert_ring_result(run, iters=15)
+
+
+def test_waves_resume_after_restart():
+    """The wave counter must keep increasing across the restart."""
+    sim = Simulator(seed=13)
+    run, _ = build_ft_run(sim, ring_app_factory(iters=40, work=0.2), size=4,
+                          protocol="pcl", period=1.0, image_bytes=2e6)
+    run.start()
+    run.schedule_task_kill(1, 2.6)
+    sim.run_until_complete(run.completed, limit=10000)
+    waves = [w for w, _s, _e in run.stats.wave_records]
+    assert waves == sorted(waves)
+    assert len(set(waves)) == len(waves)  # no wave id committed twice
+    assert run.stats.waves_completed >= 3
+
+
+def test_uncommitted_wave_discarded_on_failure():
+    """A failure during wave N+1 rolls back to wave N, never to a partial
+    N+1 state."""
+    sim = Simulator(seed=13)
+    run, _ = build_ft_run(sim, ring_app_factory(iters=30, work=0.2), size=4,
+                          protocol="pcl", period=1.0, image_bytes=50e6)
+    run.start()
+    # big images: wave 2's transfers take a while; kill in the middle
+    run.schedule_task_kill(3, 2.3)
+    sim.run_until_complete(run.completed, limit=10000)
+    assert_ring_result(run, iters=30)
+    committed = {w for w, _s, _e in run.stats.wave_records}
+    # every committed wave has all four images on the servers at commit time
+    assert run.committed_wave() in committed or run.committed_wave() == 0

@@ -1,0 +1,135 @@
+"""Unit tests for the checkpoint server."""
+
+import pytest
+
+from repro.ft import CheckpointServer, assign_servers
+from repro.ft.image import CheckpointImage
+from repro.net import ClusterNetwork
+from repro.net.topology import Endpoint
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def setup():
+    sim = Simulator(seed=1)
+    net = ClusterNetwork(sim, n_nodes=3)
+    server = CheckpointServer(sim, net, net.nodes[2], name="cs")
+    net.nodes[2].service = True
+    rank_ep = Endpoint(net.nodes[0], 0)
+    return sim, net, server, rank_ep
+
+
+def image(rank=0, wave=1, nbytes=1e6):
+    return CheckpointImage(rank, wave, nbytes, snapshot=None)
+
+
+def test_store_image_and_ack(setup):
+    sim, net, server, rank_ep = setup
+    end = server.open_connection(rank_ep)
+    img = image()
+
+    def sender():
+        end.send(("image", 0, 1, img), nbytes=img.nbytes)
+        ack = yield end.recv()
+        return (ack, sim.now)
+
+    ack, when = sim.run_until_complete(sim.process(sender()))
+    assert ack == ("ack", "image", 0, 1)
+    # transfer of 1 MB at GigE plus latency
+    assert when >= 1e6 / net.fabric.bandwidth
+    assert server.storage[1][0] is img
+    assert img.stored_at is not None
+    assert server.bytes_received == 1e6
+
+
+def test_log_attaches_to_image(setup):
+    sim, net, server, rank_ep = setup
+    end = server.open_connection(rank_ep)
+    img = image()
+
+    def sender():
+        end.send(("image", 0, 1, img), nbytes=img.nbytes)
+        yield end.recv()
+        end.send(("log", 0, 1, ["pkt1", "pkt2"], 555.0), nbytes=555.0)
+        ack = yield end.recv()
+        return ack
+
+    ack = sim.run_until_complete(sim.process(sender()))
+    assert ack == ("ack", "log", 0, 1)
+    assert server.storage[1][0].logged_messages == ["pkt1", "pkt2"]
+    assert server.storage[1][0].logged_bytes == 555.0
+
+
+def test_commit_garbage_collects(setup):
+    sim, net, server, rank_ep = setup
+    server.storage = {1: {0: image(wave=1)}, 2: {0: image(wave=2)}}
+    server.commit(2)
+    assert server.committed_wave == 2
+    assert list(server.storage) == [2]
+    # stale commit is a no-op
+    server.commit(1)
+    assert server.committed_wave == 2
+
+
+def test_fetch_roundtrip(setup):
+    sim, net, server, rank_ep = setup
+    img = image(rank=3, wave=2, nbytes=2e6)
+    server.storage = {2: {3: img}}
+    end = server.open_connection(rank_ep)
+
+    def fetcher():
+        end.send(("fetch", 3, 2), nbytes=64)
+        reply = yield end.recv()
+        return (reply, sim.now)
+
+    (kind, got), when = sim.run_until_complete(sim.process(fetcher()))
+    assert kind == "image_data" and got is img
+    # the 2 MB image had to cross the wire back
+    assert when >= 2e6 / net.fabric.bandwidth
+
+
+def test_fetch_missing_returns_none(setup):
+    sim, net, server, rank_ep = setup
+    end = server.open_connection(rank_ep)
+
+    def fetcher():
+        end.send(("fetch", 9, 9), nbytes=64)
+        reply = yield end.recv()
+        return reply
+
+    kind, got = sim.run_until_complete(sim.process(fetcher()))
+    assert kind == "image_data" and got is None
+
+
+def test_peak_bytes_tracked(setup):
+    sim, net, server, rank_ep = setup
+    end = server.open_connection(rank_ep)
+
+    def sender():
+        end.send(("image", 0, 1, image(0, 1, 1e6)), nbytes=1e6)
+        yield end.recv()
+        end.send(("image", 1, 1, image(1, 1, 3e6)), nbytes=3e6)
+        yield end.recv()
+
+    sim.run_until_complete(sim.process(sender()))
+    assert server.peak_stored_bytes == pytest.approx(4e6)
+    assert server.stored_bytes() == pytest.approx(4e6)
+
+
+def test_broken_connection_stops_serving(setup):
+    sim, net, server, rank_ep = setup
+    end = server.open_connection(rank_ep)
+    end.connection.break_()
+    sim.run()  # the serve loop must exit cleanly
+
+
+def test_assign_servers_round_robin(setup):
+    sim, net, server, _ = setup
+    other = CheckpointServer(sim, net, net.nodes[1], name="cs2")
+    mapping = assign_servers(5, [server, other])
+    assert mapping == {0: server, 1: other, 2: server, 3: other, 4: server}
+
+
+def test_assign_servers_requires_one():
+    with pytest.raises(ValueError):
+        assign_servers(3, [])

@@ -1,0 +1,59 @@
+"""Vcl logged-message replay: FIFO per channel, no loss, no duplication,
+verified with sequence-stamped payloads across a forced rollback."""
+
+from repro.mpi import SKIPPED
+from repro.sim import Simulator
+
+from tests.ft.conftest import build_ft_run
+
+
+def seq_stream_app(n_msgs=60, nbytes=800_000, work=0.01):
+    """Rank 0 streams sequence-numbered messages to rank 1, which records
+    the exact order of everything it consumes in its checkpointed state."""
+
+    def app(ctx):
+        if ctx.rank == 0:
+            for i in range(n_msgs):
+                yield from ctx.compute(work)
+                yield from ctx.send(1, tag=1, data=i, nbytes=nbytes)
+        else:
+            for i in range(n_msgs):
+                value = yield from ctx.recv(0, tag=1)
+                ctx.update(lambda s, v=value: s.setdefault("seen", []).append(v))
+                yield from ctx.compute(work)
+
+    return app
+
+
+def test_vcl_replay_preserves_stream_order():
+    sim = Simulator(seed=31)
+    run, _ = build_ft_run(sim, seq_stream_app(), size=2, protocol="vcl",
+                          period=0.12, image_bytes=1e6, fork_latency=0.005)
+    run.start()
+    run.schedule_task_kill(1, 0.43)  # after at least one committed wave
+    sim.run_until_complete(run.completed, limit=1e5)
+    assert run.stats.restarts == 1
+    seen = run.job.contexts[1].state["seen"]
+    # SKIPPED placeholders appear only for ops replayed whose values were
+    # consumed pre-snapshot; every *live* value must continue the sequence
+    # in order with no duplicates
+    values = [v for v in seen if v is not SKIPPED]
+    assert values == sorted(values)
+    assert len(values) == len(set(values))
+    assert values[-1] == 59
+    # the logging machinery must actually have been exercised
+    assert run.stats.logged_messages >= 1
+
+
+def test_vcl_multiple_waves_then_failure_uses_newest_wave():
+    sim = Simulator(seed=32)
+    run, _ = build_ft_run(sim, seq_stream_app(n_msgs=80), size=2,
+                          protocol="vcl", period=0.1, image_bytes=1e6,
+                          fork_latency=0.005)
+    run.start()
+    run.schedule_task_kill(0, 0.8)
+    sim.run_until_complete(run.completed, limit=1e5)
+    # rolled back to a wave >= 2 (several waves committed before the kill)
+    assert run.committed_wave() >= 2
+    values = [v for v in run.job.contexts[1].state["seen"] if v is not SKIPPED]
+    assert values == sorted(values) and values[-1] == 79

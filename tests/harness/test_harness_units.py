@@ -1,0 +1,158 @@
+"""Unit tests for the harness plumbing: profiles, reports, CLI, tools."""
+
+import json
+import os
+
+import pytest
+
+from repro.harness import (
+    EXPERIMENT_IDS,
+    FigureResult,
+    PROFILES,
+    Series,
+    get_experiment,
+    get_profile,
+    render,
+    save_json,
+)
+from repro.harness.experiments_md import PAPER_CLAIMS, build_markdown
+from repro.tools.ascii_plot import ascii_plot
+
+
+# ---------------------------------------------------------------- profiles
+def test_profiles_exist():
+    assert set(PROFILES) == {"paper", "quick", "smoke"}
+    assert PROFILES["paper"].time_scale == 1.0
+    assert PROFILES["quick"].time_scale < 1.0
+
+
+def test_get_profile_with_seed():
+    profile = get_profile("quick", seed=42)
+    assert profile.seed == 42
+    assert get_profile("quick").seed == 0
+
+
+def test_get_profile_unknown():
+    with pytest.raises(ValueError):
+        get_profile("gigantic")
+
+
+def test_scaled_period():
+    assert get_profile("paper").scaled_period(30.0) == 30.0
+    quick = get_profile("quick")
+    assert quick.scaled_period(30.0) == pytest.approx(30.0 * quick.time_scale)
+
+
+# -------------------------------------------------------------- experiments
+def test_every_experiment_resolves():
+    for experiment_id in EXPERIMENT_IDS:
+        assert callable(get_experiment(experiment_id))
+
+
+def test_unknown_experiment_rejected():
+    with pytest.raises(KeyError):
+        get_experiment("fig99")
+
+
+def test_every_experiment_has_a_paper_claim():
+    assert set(PAPER_CLAIMS) == set(EXPERIMENT_IDS)
+
+
+def test_every_experiment_has_a_benchmark_file():
+    bench_dir = os.path.join(os.path.dirname(__file__), "..", "..",
+                             "benchmarks")
+    for experiment_id in EXPERIMENT_IDS:
+        path = os.path.join(bench_dir, f"test_{experiment_id}.py")
+        assert os.path.exists(path), f"missing benchmark for {experiment_id}"
+
+
+# ------------------------------------------------------------------ report
+def _result():
+    return FigureResult(
+        figure_id="figX",
+        title="Demo",
+        x_label="n",
+        y_label="seconds",
+        series=[
+            Series("a", [1.0, 2.0, 4.0], [10.0, 11.0, 13.0]),
+            Series("b", [1.0, 4.0], [9.0, 9.5]),
+        ],
+        checks={"goes up": True, "stays sane": False},
+        notes=["hello"],
+        profile="smoke",
+    )
+
+
+def test_render_contains_everything():
+    text = render(_result())
+    assert "figX" in text and "Demo" in text
+    assert "check [PASS] goes up" in text
+    assert "check [FAIL] stays sane" in text
+    assert "note: hello" in text
+    assert "13.000" in text
+    assert "-" in text  # missing b value at x=2
+
+
+def test_all_checks_pass_property():
+    result = _result()
+    assert not result.all_checks_pass
+    result.checks["stays sane"] = True
+    assert result.all_checks_pass
+
+
+def test_save_json_roundtrip(tmp_path):
+    path = save_json(_result(), directory=str(tmp_path))
+    with open(path) as handle:
+        data = json.load(handle)
+    assert data["figure"] == "figX"
+    assert data["checks"]["goes up"] is True
+    assert len(data["series"]) == 2
+
+
+# ---------------------------------------------------------- experiments_md
+def test_build_markdown_from_results(tmp_path):
+    save_json(_result(), directory=str(tmp_path))
+    markdown = build_markdown(str(tmp_path))
+    assert "EXPERIMENTS" in markdown
+    assert "shape checks pass" in markdown
+    # unknown figure id figX is not in the claims registry, so only the
+    # claim sections appear; every known claim is present
+    for experiment_id in PAPER_CLAIMS:
+        assert f"## {experiment_id}" in markdown
+
+
+def test_build_markdown_prefers_larger_profile(tmp_path):
+    small = _result()
+    small.figure_id = "fig5"
+    small.profile = "smoke"
+    small.checks = {"x": False}
+    save_json(small, directory=str(tmp_path))
+    big = _result()
+    big.figure_id = "fig5"
+    big.profile = "quick"
+    big.checks = {"x": True}
+    save_json(big, directory=str(tmp_path))
+    markdown = build_markdown(str(tmp_path))
+    assert "profile `quick`" in markdown
+
+
+# -------------------------------------------------------------- ascii plot
+def test_ascii_plot_renders_markers():
+    text = ascii_plot([("a", [0, 1, 2], [0.0, 1.0, 2.0]),
+                       ("b", [0, 1, 2], [2.0, 1.0, 0.0])])
+    assert "*" in text and "o" in text
+    assert "a" in text and "b" in text
+
+
+def test_ascii_plot_flat_series():
+    text = ascii_plot([("flat", [0, 1], [5.0, 5.0])])
+    assert "flat" in text
+
+
+def test_ascii_plot_empty():
+    assert ascii_plot([]) == "(no data)\n"
+
+
+def test_ascii_plot_validates_size():
+    with pytest.raises(ValueError):
+        ascii_plot([("a", [0], [0])], width=4, height=2)

@@ -1,0 +1,28 @@
+"""Shared fixtures for MPI-layer tests."""
+
+import pytest
+
+from repro.mpi import FtSockChannel, MPIJob
+from repro.net import ClusterNetwork
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator(seed=1)
+
+
+def make_job(sim, app_factory, size=2, channel_cls=FtSockChannel, n_nodes=None,
+             image_bytes=0.0, **net_kwargs):
+    """Build a small cluster job for tests."""
+    net = ClusterNetwork(sim, n_nodes=n_nodes or size, **net_kwargs)
+    endpoints = net.place(size)
+    job = MPIJob(sim, net, endpoints, app_factory, channel_cls,
+                 image_bytes=image_bytes)
+    return job, net
+
+
+def run_job(sim, job, limit=None):
+    """Start the job and run to completion; returns completion time."""
+    job.start()
+    return sim.run_until_complete(job.completed, limit=limit)

@@ -1,0 +1,148 @@
+"""Integration tests for collective operations."""
+
+import operator
+
+import pytest
+
+from tests.mpi.conftest import make_job, run_job
+
+
+@pytest.mark.parametrize("size", [1, 2, 3, 4, 5, 8])
+def test_barrier_synchronizes(sim, size):
+    exit_times = {}
+
+    def app(ctx):
+        yield from ctx.compute(0.1 * ctx.rank)  # staggered arrivals
+        yield from ctx.barrier()
+        exit_times[ctx.rank] = ctx.sim.now
+
+    job, _ = make_job(sim, app, size=size)
+    run_job(sim, job)
+    latest_arrival = 0.1 * (size - 1)
+    assert all(t >= latest_arrival for t in exit_times.values())
+
+
+@pytest.mark.parametrize("size,root", [(2, 0), (4, 0), (5, 2), (7, 6), (8, 3)])
+def test_bcast(sim, size, root):
+    results = {}
+
+    def app(ctx):
+        value = {"payload": 42} if ctx.rank == root else None
+        out = yield from ctx.bcast(value, root=root, nbytes=256)
+        results[ctx.rank] = out
+
+    job, _ = make_job(sim, app, size=size)
+    run_job(sim, job)
+    assert all(results[r] == {"payload": 42} for r in range(size))
+
+
+@pytest.mark.parametrize("size,root", [(2, 0), (4, 1), (6, 5), (8, 0)])
+def test_reduce_sum(sim, size, root):
+    results = {}
+
+    def app(ctx):
+        out = yield from ctx.reduce(ctx.rank + 1, operator.add, root=root, nbytes=8)
+        results[ctx.rank] = out
+
+    job, _ = make_job(sim, app, size=size)
+    run_job(sim, job)
+    assert results[root] == size * (size + 1) // 2
+    assert all(results[r] is None for r in range(size) if r != root)
+
+
+@pytest.mark.parametrize("size", [1, 2, 3, 4, 8])
+def test_allreduce_max(sim, size):
+    results = {}
+
+    def app(ctx):
+        out = yield from ctx.allreduce(ctx.rank * 10, max, nbytes=8)
+        results[ctx.rank] = out
+
+    job, _ = make_job(sim, app, size=size)
+    run_job(sim, job)
+    assert all(v == (size - 1) * 10 for v in results.values())
+
+
+@pytest.mark.parametrize("size,root", [(3, 0), (5, 4)])
+def test_gather(sim, size, root):
+    results = {}
+
+    def app(ctx):
+        out = yield from ctx.gather(f"r{ctx.rank}", root=root, nbytes=16)
+        results[ctx.rank] = out
+
+    job, _ = make_job(sim, app, size=size)
+    run_job(sim, job)
+    assert results[root] == [f"r{i}" for i in range(size)]
+
+
+@pytest.mark.parametrize("size", [2, 3, 5, 8])
+def test_allgather(sim, size):
+    results = {}
+
+    def app(ctx):
+        out = yield from ctx.allgather(ctx.rank ** 2, nbytes=8)
+        results[ctx.rank] = out
+
+    job, _ = make_job(sim, app, size=size)
+    run_job(sim, job)
+    expected = [i ** 2 for i in range(size)]
+    assert all(results[r] == expected for r in range(size))
+
+
+@pytest.mark.parametrize("size", [2, 4, 6])
+def test_alltoall(sim, size):
+    results = {}
+
+    def app(ctx):
+        outgoing = [f"{ctx.rank}->{d}" for d in range(size)]
+        out = yield from ctx.alltoall(outgoing, nbytes_each=32)
+        results[ctx.rank] = out
+
+    job, _ = make_job(sim, app, size=size)
+    run_job(sim, job)
+    for r in range(size):
+        assert results[r] == [f"{s}->{r}" for s in range(size)]
+
+
+@pytest.mark.parametrize("size,root", [(4, 0), (5, 3)])
+def test_scatter(sim, size, root):
+    results = {}
+
+    def app(ctx):
+        values = [i * 2 for i in range(size)] if ctx.rank == root else None
+        out = yield from ctx.scatter(values, root=root, nbytes_each=8)
+        results[ctx.rank] = out
+
+    job, _ = make_job(sim, app, size=size)
+    run_job(sim, job)
+    assert all(results[r] == r * 2 for r in range(size))
+
+
+def test_alltoall_size_mismatch(sim):
+    def app(ctx):
+        yield from ctx.alltoall(["too", "few"][: ctx.size - 1], nbytes_each=1)
+
+    job, _ = make_job(sim, app, size=3)
+    job.start()
+    with pytest.raises(ValueError):
+        sim.run_until_complete(job.completed, limit=60.0)
+
+
+def test_back_to_back_collectives_do_not_cross_match(sim):
+    results = {}
+
+    def app(ctx):
+        a = yield from ctx.allreduce(1, operator.add, nbytes=8)
+        b = yield from ctx.allreduce(ctx.rank, operator.add, nbytes=8)
+        c = yield from ctx.allgather(ctx.rank, nbytes=8)
+        results[ctx.rank] = (a, b, c)
+
+    size = 6
+    job, _ = make_job(sim, app, size=size)
+    run_job(sim, job)
+    for r in range(size):
+        a, b, c = results[r]
+        assert a == size
+        assert b == sum(range(size))
+        assert c == list(range(size))

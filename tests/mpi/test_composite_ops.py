@@ -1,0 +1,61 @@
+"""Tests for sendrecv and waitall."""
+
+from tests.mpi.conftest import make_job, run_job
+
+
+def test_sendrecv_ring(sim):
+    results = {}
+
+    def app(ctx):
+        right = (ctx.rank + 1) % ctx.size
+        left = (ctx.rank - 1) % ctx.size
+        got = yield from ctx.sendrecv(right, left, send_tag=9,
+                                      data=ctx.rank, nbytes=64)
+        results[ctx.rank] = got
+
+    job, _ = make_job(sim, app, size=5)
+    run_job(sim, job)
+    assert results == {r: (r - 1) % 5 for r in range(5)}
+
+
+def test_sendrecv_distinct_tags(sim):
+    results = {}
+
+    def app(ctx):
+        peer = 1 - ctx.rank
+        got = yield from ctx.sendrecv(peer, peer, send_tag=ctx.rank,
+                                      recv_tag=peer, data=f"r{ctx.rank}",
+                                      nbytes=8)
+        results[ctx.rank] = got
+
+    job, _ = make_job(sim, app, size=2)
+    run_job(sim, job)
+    assert results == {0: "r1", 1: "r0"}
+
+
+def test_waitall_returns_in_request_order(sim):
+    out = {}
+
+    def app(ctx):
+        if ctx.rank == 0:
+            for i in range(4):
+                yield from ctx.send(1, tag=i, data=i * 10, nbytes=32)
+        else:
+            requests = [ctx.irecv(0, tag=i) for i in range(4)]
+            values = yield from ctx.waitall(requests)
+            out["values"] = [data for data, _status in values]
+
+    job, _ = make_job(sim, app, size=2)
+    run_job(sim, job)
+    assert out["values"] == [0, 10, 20, 30]
+
+
+def test_waitall_mixed_send_recv(sim):
+    def app(ctx):
+        peer = 1 - ctx.rank
+        requests = [ctx.isend(peer, 5, None, 128), ctx.irecv(peer, 5)]
+        yield from ctx.waitall(requests)
+
+    job, _ = make_job(sim, app, size=2)
+    run_job(sim, job)
+    assert job.completed.triggered

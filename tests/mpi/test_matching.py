@@ -1,0 +1,126 @@
+"""Unit tests for the matching engine."""
+
+import pytest
+
+from repro.mpi import ANY_SOURCE, ANY_TAG
+from repro.mpi.matching import MatchingEngine
+from repro.mpi.message import AppPacket
+from repro.sim import Simulator
+
+
+def pkt(src=0, tag=0, data="d", nbytes=10.0, seq=0):
+    return AppPacket(src, tag, data, nbytes, seq)
+
+
+@pytest.fixture
+def eng():
+    return MatchingEngine(Simulator(), rank=9)
+
+
+def value_of(event):
+    assert event.triggered
+    return event.value
+
+
+def test_posted_recv_matches_arrival(eng):
+    ev = eng.post_recv(source=3, tag=7)
+    assert not ev.triggered
+    eng.deliver(pkt(src=3, tag=7, data="x"))
+    data, status = value_of(ev)
+    assert data == "x"
+    assert status.source == 3 and status.tag == 7
+
+
+def test_unexpected_then_recv(eng):
+    eng.deliver(pkt(src=1, tag=2, data="early"))
+    ev = eng.post_recv(source=1, tag=2)
+    data, _ = value_of(ev)
+    assert data == "early"
+    assert not eng.unexpected
+
+
+def test_wildcard_source(eng):
+    ev = eng.post_recv(source=ANY_SOURCE, tag=5)
+    eng.deliver(pkt(src=4, tag=5))
+    _, status = value_of(ev)
+    assert status.source == 4
+
+
+def test_wildcard_tag(eng):
+    eng.deliver(pkt(src=2, tag=13, data="t"))
+    ev = eng.post_recv(source=2, tag=ANY_TAG)
+    data, status = value_of(ev)
+    assert data == "t" and status.tag == 13
+
+
+def test_non_matching_stays_unexpected(eng):
+    ev = eng.post_recv(source=1, tag=1)
+    eng.deliver(pkt(src=2, tag=1))
+    assert not ev.triggered
+    assert len(eng.unexpected) == 1
+    eng.deliver(pkt(src=1, tag=1))
+    assert ev.triggered
+
+
+def test_fifo_among_unexpected(eng):
+    eng.deliver(pkt(src=1, tag=0, data="first", seq=1))
+    eng.deliver(pkt(src=1, tag=0, data="second", seq=2))
+    ev1 = eng.post_recv(source=1, tag=0)
+    ev2 = eng.post_recv(source=1, tag=0)
+    assert value_of(ev1)[0] == "first"
+    assert value_of(ev2)[0] == "second"
+
+
+def test_fifo_among_posted(eng):
+    ev1 = eng.post_recv(source=ANY_SOURCE, tag=ANY_TAG)
+    ev2 = eng.post_recv(source=ANY_SOURCE, tag=ANY_TAG)
+    eng.deliver(pkt(data="a"))
+    assert ev1.triggered and not ev2.triggered
+    eng.deliver(pkt(data="b"))
+    assert value_of(ev2)[0] == "b"
+
+
+def test_probe(eng):
+    assert eng.probe(ANY_SOURCE, ANY_TAG) is None
+    eng.deliver(pkt(src=6, tag=9, nbytes=77.0))
+    status = eng.probe(6, 9)
+    assert status.nbytes == 77.0
+    assert eng.probe(6, 10) is None
+    # probe must not consume
+    assert len(eng.unexpected) == 1
+
+
+def test_cancel_posted(eng):
+    ev = eng.post_recv(source=1, tag=1)
+    eng.cancel(ev)
+    eng.deliver(pkt(src=1, tag=1))
+    assert not ev.triggered
+    assert len(eng.unexpected) == 1
+
+
+def test_fail_all(eng):
+    ev = eng.post_recv(source=1, tag=1)
+    eng.fail_all(ConnectionError("down"))
+    assert ev.triggered and ev.ok is False
+    assert not eng.posted
+
+
+def test_snapshot_restore():
+    sim = Simulator()
+    a = MatchingEngine(sim, 0)
+    a.deliver(pkt(src=1, tag=1, data="keep", nbytes=50.0))
+    snap = a.snapshot()
+    assert a.unexpected_bytes == 50.0
+
+    b = MatchingEngine(sim, 0)
+    b.restore(snap)
+    ev = b.post_recv(source=1, tag=1)
+    assert value_of(ev)[0] == "keep"
+
+
+def test_restore_with_posted_recvs_rejected():
+    sim = Simulator()
+    a = MatchingEngine(sim, 0)
+    a.post_recv(1, 1)
+    with pytest.raises(RuntimeError):
+        a.restore([])

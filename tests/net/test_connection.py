@@ -1,0 +1,196 @@
+"""Unit tests for TCP-like connections."""
+
+import pytest
+
+from repro.net import BrokenConnectionError, ClusterNetwork
+from repro.sim import Simulator
+
+
+def small_net(n_nodes=4):
+    sim = Simulator()
+    net = ClusterNetwork(sim, n_nodes=n_nodes)
+    return sim, net
+
+
+def test_send_recv_roundtrip():
+    sim, net = small_net()
+    a, b = net.place(2)
+    conn = net.connect(a, b)
+    ea, eb = conn.ends()
+
+    def sender():
+        yield ea.send("hello", nbytes=1000)
+
+    def receiver():
+        msg = yield eb.recv()
+        return (sim.now, msg)
+
+    sim.process(sender())
+    proc = sim.process(receiver())
+    t, msg = sim.run_until_complete(proc)
+    assert msg == "hello"
+    # latency + 1000B at 117 MB/s
+    expected = net.fabric.latency + 1000 / net.fabric.bandwidth
+    assert t == pytest.approx(expected, rel=1e-6)
+
+
+def test_fifo_ordering():
+    sim, net = small_net()
+    a, b = net.place(2)
+    ea, eb = net.connect(a, b).ends()
+    for i in range(20):
+        ea.send(i, nbytes=100 * (20 - i))  # shrinking sizes must not reorder
+
+    def receiver():
+        out = []
+        for _ in range(20):
+            out.append((yield eb.recv()))
+        return out
+
+    proc = sim.process(receiver())
+    assert sim.run_until_complete(proc) == list(range(20))
+
+
+def test_duplex_is_independent():
+    sim, net = small_net()
+    a, b = net.place(2)
+    ea, eb = net.connect(a, b).ends()
+    ea.send("ping", nbytes=10)
+    eb.send("pong", nbytes=10)
+
+    def recv_both():
+        x = yield eb.recv()
+        y = yield ea.recv()
+        return (x, y)
+
+    assert sim.run_until_complete(sim.process(recv_both())) == ("ping", "pong")
+
+
+def test_try_recv_and_pending():
+    sim, net = small_net()
+    a, b = net.place(2)
+    ea, eb = net.connect(a, b).ends()
+    assert eb.try_recv() is None
+    ea.send("m", nbytes=1)
+    sim.run()
+    assert eb.pending() == 1
+    assert eb.try_recv() == "m"
+    assert eb.pending() == 0
+
+
+def test_break_wakes_blocked_reader():
+    sim, net = small_net()
+    a, b = net.place(2)
+    conn = net.connect(a, b)
+    _, eb = conn.ends()
+
+    def reader():
+        with pytest.raises(BrokenConnectionError):
+            yield eb.recv()
+        return sim.now
+
+    proc = sim.process(reader())
+    sim.call_at(3.0, conn.break_)
+    assert sim.run_until_complete(proc) == 3.0
+
+
+def test_send_on_broken_connection_raises():
+    sim, net = small_net()
+    a, b = net.place(2)
+    conn = net.connect(a, b)
+    ea, _ = conn.ends()
+    conn.break_()
+    with pytest.raises(BrokenConnectionError):
+        ea.send("x", nbytes=1)
+
+
+def test_break_drops_in_flight_messages():
+    sim, net = small_net()
+    a, b = net.place(2)
+    conn = net.connect(a, b)
+    ea, eb = conn.ends()
+    ea.send("big", nbytes=117e6)  # ~1 s of transfer
+
+    def reader():
+        with pytest.raises(BrokenConnectionError):
+            yield eb.recv()
+
+    proc = sim.process(reader())
+    sim.call_at(0.1, conn.break_)
+    sim.run_until_complete(proc)
+    assert conn.broken
+
+
+def test_break_is_idempotent():
+    sim, net = small_net()
+    a, b = net.place(2)
+    conn = net.connect(a, b)
+    conn.break_()
+    conn.break_()
+    assert conn.broken
+
+
+def test_fail_node_breaks_its_connections_only():
+    sim, net = small_net(n_nodes=4)
+    eps = net.place(4)
+    c01 = net.connect(eps[0], eps[1])
+    c23 = net.connect(eps[2], eps[3])
+    broken = net.fail_node(eps[0].node)
+    assert c01 in broken
+    assert c01.broken and not c23.broken
+    assert not eps[0].node.alive
+
+
+def test_connect_to_dead_node_refused():
+    sim, net = small_net()
+    eps = net.place(2)
+    net.fail_node(eps[1].node)
+    with pytest.raises(ConnectionRefusedError):
+        net.connect(eps[0], eps[1])
+
+
+def test_sent_event_fires_at_transmit_completion():
+    sim, net = small_net()
+    a, b = net.place(2)
+    ea, _ = net.connect(a, b).ends()
+
+    def sender():
+        yield ea.send("x", nbytes=net.fabric.bandwidth)  # exactly 1 s
+        return sim.now
+
+    assert sim.run_until_complete(sim.process(sender())) == pytest.approx(1.0)
+
+
+def test_nic_sharing_between_two_connections():
+    """Two simultaneous bulk sends from one node share its NIC."""
+    sim, net = small_net(n_nodes=3)
+    eps = net.place(3)
+    e1, _ = net.connect(eps[0], eps[1]).ends()
+    e2, _ = net.connect(eps[0], eps[2]).ends()
+    nbytes = net.fabric.bandwidth  # 1 s alone
+
+    def sender(end):
+        yield end.send("bulk", nbytes=nbytes)
+        return sim.now
+
+    p1 = sim.process(sender(e1))
+    p2 = sim.process(sender(e2))
+    sim.run()
+    # Shared NIC: each flow at half rate -> ~2 s.
+    assert p1.value == pytest.approx(2.0, rel=1e-3)
+    assert p2.value == pytest.approx(2.0, rel=1e-3)
+
+
+def test_same_node_connection_uses_memory_link():
+    sim, net = small_net(n_nodes=1)
+    eps = net.place(2)  # two slots on the single node
+    assert eps[0].node is eps[1].node
+    ea, eb = net.connect(eps[0], eps[1]).ends()
+
+    def roundtrip():
+        ea.send("m", nbytes=0)
+        msg = yield eb.recv()
+        return (sim.now, msg)
+
+    t, _msg = sim.run_until_complete(sim.process(roundtrip()))
+    assert t == pytest.approx(net.shm_fabric.latency)

@@ -1,0 +1,74 @@
+"""Tests of the extended machinefile format."""
+
+import pytest
+
+from repro.runtime import parse_machinefile
+
+
+GOOD = """
+# Orsay deployment
+node001:2
+node002:2 ckpt=cs1
+node003
+cs1 role=server
+cs2 role=server
+sched role=scheduler
+"""
+
+
+def test_parse_good_machinefile():
+    mf = parse_machinefile(GOOD)
+    assert [e.hostname for e in mf.compute] == ["node001", "node002", "node003"]
+    assert mf.compute[0].slots == 2
+    assert mf.compute[2].slots == 1
+    assert [e.hostname for e in mf.servers] == ["cs1", "cs2"]
+    assert mf.scheduler.hostname == "sched"
+    assert mf.total_slots == 5
+
+
+def test_explicit_server_assignment():
+    mf = parse_machinefile(GOOD)
+    assert mf.server_for(1) == "cs1"   # explicit
+    assert mf.server_for(0) == "cs1"   # round robin index 0
+    assert mf.server_for(2) == "cs1"   # round robin index 2 % 2 = 0
+
+
+def test_rank_server_map_block_placement():
+    mf = parse_machinefile(GOOD)
+    mapping = mf.rank_server_map(5)
+    # slot-0 pass: node001, node002, node003; slot-1 pass: node001, node002
+    assert mapping[0] == "cs1"  # node001 -> rr(0)
+    assert mapping[1] == "cs1"  # node002 explicit
+    assert mapping[4] == "cs1"  # node002 slot 1, explicit
+    assert len(mapping) == 5
+
+
+def test_rank_server_map_too_many_ranks():
+    mf = parse_machinefile(GOOD)
+    with pytest.raises(ValueError):
+        mf.rank_server_map(6)
+
+
+def test_comments_and_blank_lines_ignored():
+    mf = parse_machinefile("\n# only a comment\n\nhost1\ncs role=server\n")
+    assert len(mf.compute) == 1
+
+
+@pytest.mark.parametrize("bad,match", [
+    ("node:x\n", "bad slot count"),
+    ("node:0\n", "slots"),
+    ("node opt\n", "bad option"),
+    ("node role=wizard\n", "unknown role"),
+    ("node foo=bar\n", "unknown option"),
+    ("s1 role=scheduler\ns2 role=scheduler\n", "duplicate scheduler"),
+    ("node ckpt=nowhere\n", "unknown checkpoint server"),
+])
+def test_malformed_lines_rejected(bad, match):
+    with pytest.raises(ValueError, match=match):
+        parse_machinefile(bad)
+
+
+def test_no_servers_declared():
+    mf = parse_machinefile("host1\n")
+    with pytest.raises(ValueError, match="no checkpoint servers"):
+        mf.server_for(0)

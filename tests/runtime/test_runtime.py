@@ -1,0 +1,95 @@
+"""Tests of the runtime environments: ssh, dispatcher, FTPM, database."""
+
+import pytest
+
+from repro.runtime import (
+    Dispatcher,
+    FTPM,
+    ProcessDatabase,
+    ScaleLimitError,
+    SELECT_FD_LIMIT,
+    SOCKETS_PER_PROCESS,
+    SshSpawner,
+)
+
+
+# ------------------------------------------------------------------- ssh
+def test_sequential_ssh_delays():
+    ssh = SshSpawner(concurrency=1, per_spawn=0.5)
+    assert ssh.delays(3) == [0.5, 1.0, 1.5]
+    assert ssh.total_time(3) == 1.5
+
+
+def test_parallel_ssh_delays():
+    ssh = SshSpawner(concurrency=4, per_spawn=1.0)
+    assert ssh.delays(6) == [1.0, 1.0, 1.0, 1.0, 2.0, 2.0]
+
+
+def test_ssh_zero_processes():
+    assert SshSpawner().total_time(0) == 0.0
+
+
+def test_ssh_validation():
+    with pytest.raises(ValueError):
+        SshSpawner(concurrency=0)
+    with pytest.raises(ValueError):
+        SshSpawner(per_spawn=-1.0)
+
+
+def test_parallel_much_faster_than_sequential():
+    n = 256
+    sequential = SshSpawner(concurrency=1).total_time(n)
+    parallel = SshSpawner(concurrency=32).total_time(n)
+    assert parallel <= sequential / 16
+
+
+# ------------------------------------------------------------ dispatcher
+def test_dispatcher_select_limit():
+    dispatcher = Dispatcher()
+    limit = dispatcher.max_processes()
+    # the paper: "this precludes tests with more than 300 processes"
+    assert 300 <= limit <= SELECT_FD_LIMIT // SOCKETS_PER_PROCESS
+    dispatcher.validate(limit)  # ok
+    with pytest.raises(ScaleLimitError):
+        dispatcher.validate(400)
+
+
+def test_dispatcher_spawns_sequentially():
+    dispatcher = Dispatcher()
+    delays = dispatcher.spawn_delays(4)
+    assert delays == sorted(delays)
+    assert len(set(delays)) == 4
+
+
+# ------------------------------------------------------------------ ftpm
+def test_ftpm_scales_past_dispatcher():
+    ftpm = FTPM()
+    ftpm.validate(1024)  # the paper's design target
+    with pytest.raises(ScaleLimitError):
+        ftpm.validate(ftpm.max_processes() + 1)
+
+
+def test_ftpm_publishes_business_cards():
+    ftpm = FTPM()
+    ftpm.spawn_delays(8)
+    assert len(ftpm.database) == 8
+    card = ftpm.database.lookup(3)
+    assert card.rank == 3
+    ftpm.respawn_lead_time()
+    assert len(ftpm.database) == 0
+
+
+# -------------------------------------------------------------- database
+def test_database_wave_tracking():
+    db = ProcessDatabase()
+    db.record_wave(3)
+    db.record_wave(1)  # stale
+    assert db.last_successful_wave == 3
+
+
+def test_database_image_locations():
+    db = ProcessDatabase()
+    db.record_image_location(0, "cs1")
+    assert db.image_location(0) == "cs1"
+    assert db.image_location(9) is None
+    assert db.lookups == 2

@@ -1,0 +1,148 @@
+"""Unit tests for the simulator event loop."""
+
+import pytest
+
+from repro.sim import Simulator
+from repro.sim.engine import SimulationError
+
+
+def test_clock_starts_at_zero():
+    sim = Simulator()
+    assert sim.now == 0.0
+
+
+def test_timeout_advances_clock():
+    sim = Simulator()
+    sim.timeout(2.5)
+    sim.run()
+    assert sim.now == 2.5
+
+
+def test_run_until_advances_clock_even_without_events():
+    sim = Simulator()
+    sim.run(until=10.0)
+    assert sim.now == 10.0
+
+
+def test_run_until_does_not_process_later_events():
+    sim = Simulator()
+    fired = []
+    sim.call_at(5.0, fired.append, "late")
+    sim.run(until=3.0)
+    assert fired == []
+    assert sim.now == 3.0
+    sim.run()
+    assert fired == ["late"]
+    assert sim.now == 5.0
+
+
+def test_run_until_in_past_raises():
+    sim = Simulator()
+    sim.call_at(5.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.run(until=1.0)
+
+
+def test_events_at_same_time_fire_in_schedule_order():
+    sim = Simulator()
+    order = []
+    for i in range(10):
+        sim.call_at(1.0, order.append, i)
+    sim.run()
+    assert order == list(range(10))
+
+
+def test_call_at_passes_arguments():
+    sim = Simulator()
+    seen = []
+    sim.call_at(0.5, lambda a, b: seen.append((a, b)), 1, 2)
+    sim.run()
+    assert seen == [(1, 2)]
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises((SimulationError, ValueError)):
+        sim.timeout(-1.0)
+
+
+def test_step_on_empty_heap_raises():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.step()
+
+
+def test_peek_reports_next_event_time():
+    sim = Simulator()
+    assert sim.peek() == float("inf")
+    sim.timeout(4.0)
+    sim.timeout(2.0)
+    assert sim.peek() == 2.0
+
+
+def test_run_until_complete_returns_value():
+    sim = Simulator()
+
+    def worker():
+        yield sim.timeout(3.0)
+        return 42
+
+    proc = sim.process(worker())
+    assert sim.run_until_complete(proc) == 42
+    assert sim.now == 3.0
+
+
+def test_run_until_complete_detects_deadlock():
+    sim = Simulator()
+    never = sim.event()
+
+    def worker():
+        yield never
+
+    proc = sim.process(worker())
+    with pytest.raises(SimulationError, match="deadlock"):
+        sim.run_until_complete(proc)
+
+
+def test_run_until_complete_respects_limit():
+    sim = Simulator()
+
+    def worker():
+        yield sim.timeout(100.0)
+
+    proc = sim.process(worker())
+    with pytest.raises(SimulationError, match="limit"):
+        sim.run_until_complete(proc, limit=10.0)
+
+
+def test_run_until_complete_raises_process_exception():
+    sim = Simulator()
+
+    def worker():
+        yield sim.timeout(1.0)
+        raise ValueError("boom")
+
+    proc = sim.process(worker())
+    with pytest.raises(ValueError, match="boom"):
+        sim.run_until_complete(proc)
+
+
+def test_determinism_same_seed_same_trajectory():
+    def build_and_run(seed):
+        sim = Simulator(seed=seed)
+        log = []
+
+        def worker(i):
+            rng = sim.rng.stream(f"w{i}")
+            for _ in range(5):
+                yield sim.timeout(float(rng.uniform(0.1, 1.0)))
+                log.append((round(sim.now, 12), i))
+
+        for i in range(4):
+            sim.process(worker(i))
+        sim.run()
+        return log
+
+    assert build_and_run(7) == build_and_run(7)
+    assert build_and_run(7) != build_and_run(8)

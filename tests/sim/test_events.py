@@ -1,0 +1,148 @@
+"""Unit tests for events and conditions."""
+
+import pytest
+
+from repro.sim import Simulator
+
+
+def test_event_lifecycle():
+    sim = Simulator()
+    ev = sim.event("e")
+    assert not ev.triggered and not ev.processed and ev.ok is None
+    ev.succeed(99)
+    assert ev.triggered and not ev.processed and ev.ok is True
+    sim.run()
+    assert ev.processed
+    assert ev.value == 99
+
+
+def test_event_double_trigger_rejected():
+    sim = Simulator()
+    ev = sim.event()
+    ev.succeed()
+    with pytest.raises(RuntimeError):
+        ev.succeed()
+    with pytest.raises(RuntimeError):
+        ev.fail(ValueError())
+
+
+def test_fail_requires_exception_instance():
+    sim = Simulator()
+    ev = sim.event()
+    with pytest.raises(TypeError):
+        ev.fail("not an exception")
+
+
+def test_unconsumed_failure_raises_from_run():
+    sim = Simulator()
+    ev = sim.event()
+    ev.fail(RuntimeError("lost"))
+    with pytest.raises(RuntimeError, match="lost"):
+        sim.run()
+
+
+def test_defused_failure_does_not_raise():
+    sim = Simulator()
+    ev = sim.event()
+    ev.defused = True
+    ev.fail(RuntimeError("lost"))
+    sim.run()  # no raise
+
+
+def test_callbacks_receive_event():
+    sim = Simulator()
+    ev = sim.event()
+    seen = []
+    ev.callbacks.append(seen.append)
+    ev.succeed("v")
+    sim.run()
+    assert seen == [ev]
+    assert seen[0].value == "v"
+
+
+def test_all_of_waits_for_every_child():
+    sim = Simulator()
+    t1 = sim.timeout(1.0, value="a")
+    t2 = sim.timeout(2.0, value="b")
+    cond = sim.all_of([t1, t2])
+    sim.run()
+    assert cond.processed and cond.ok
+    assert cond.value == {t1: "a", t2: "b"}
+    assert sim.now == 2.0
+
+
+def test_any_of_fires_on_first_child():
+    sim = Simulator()
+    t1 = sim.timeout(1.0, value="fast")
+    t2 = sim.timeout(5.0, value="slow")
+    cond = sim.any_of([t1, t2])
+
+    def waiter():
+        value = yield cond
+        assert value == {t1: "fast"}
+        return sim.now
+
+    proc = sim.process(waiter())
+    assert sim.run_until_complete(proc) == 1.0
+
+
+def test_empty_all_of_fires_immediately():
+    sim = Simulator()
+    cond = sim.all_of([])
+    sim.run()
+    assert cond.processed and cond.ok
+
+
+def test_empty_any_of_fires_immediately():
+    sim = Simulator()
+    cond = sim.any_of([])
+    sim.run()
+    assert cond.processed and cond.ok
+
+
+def test_condition_over_already_processed_events():
+    sim = Simulator()
+    t1 = sim.timeout(1.0, value=1)
+    sim.run()
+    assert t1.processed
+    cond = sim.all_of([t1])
+    sim.run()
+    assert cond.processed and cond.value == {t1: 1}
+
+
+def test_condition_child_failure_fails_condition():
+    sim = Simulator()
+    good = sim.timeout(1.0)
+    bad = sim.event()
+    bad.fail(ValueError("child failed"))
+    cond = sim.all_of([good, bad])
+
+    def waiter():
+        with pytest.raises(ValueError, match="child failed"):
+            yield cond
+
+    proc = sim.process(waiter())
+    sim.run_until_complete(proc)
+
+
+def test_condition_rejects_foreign_events():
+    sim1, sim2 = Simulator(), Simulator()
+    with pytest.raises(ValueError):
+        sim1.all_of([sim2.event()])
+
+
+def test_condition_rejects_non_events():
+    sim = Simulator()
+    with pytest.raises(TypeError):
+        sim.all_of([42])
+
+
+def test_timeout_value_passthrough():
+    sim = Simulator()
+
+    def waiter():
+        value = yield sim.timeout(1.0, value="payload")
+        return value
+
+    proc = sim.process(waiter())
+    assert sim.run_until_complete(proc) == "payload"
