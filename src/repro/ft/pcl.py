@@ -60,13 +60,17 @@ class PclEndpoint(BaseEndpoint):
         self.wave = wave
         self._markers_from = set()
         self._entered_at = self.sim.now
+        if self.sim.trace.wants("ft.enter_wave"):
+            self.sim.trace.record(self.sim.now, "ft.enter_wave",
+                                  rank=self.rank, wave=wave)
         others = [r for r in range(self.job.size) if r != self.rank]
         # Freeze sends *before* the markers go out: anything already queued
         # precedes the marker (FIFO); nothing may follow it.
-        if isinstance(self.channel, NemesisChannel):
-            self.channel.enqueue_stopper()
-        else:
-            self.channel.close_send_gates(others)
+        if self.protocol.channel_gating_enabled:
+            if isinstance(self.channel, NemesisChannel):
+                self.channel.enqueue_stopper()
+            else:
+                self.channel.close_send_gates(others)
         if others:
             self._spawn(self._send_markers(others, wave),
                         f"pcl:markers:r{self.rank}")
@@ -89,7 +93,13 @@ class PclEndpoint(BaseEndpoint):
             self.enter_wave(packet.wave)
             if packet.wave != self.wave:
                 return  # stale marker from an aborted wave
-            self.channel.freeze_source(packet.src)
+            if self.sim.trace.wants("ft.marker_recv"):
+                self.sim.trace.record(
+                    self.sim.now, "ft.marker_recv", rank=self.rank,
+                    src=packet.src, wave=packet.wave, protocol="pcl",
+                )
+            if self.protocol.channel_gating_enabled:
+                self.channel.freeze_source(packet.src)
             self._markers_from.add(packet.src)
             if len(self._markers_from) == self.job.size - 1:
                 self._take_checkpoint()
@@ -112,6 +122,9 @@ class PclEndpoint(BaseEndpoint):
         """After the fork pause, unfreeze and deliver the delayed queue."""
         yield self.sim.timeout(self.protocol.fork_latency)
         self.state = "normal"
+        if self.sim.trace.wants("ft.resume"):
+            self.sim.trace.record(self.sim.now, "ft.resume",
+                                  rank=self.rank, wave=self.wave)
         if isinstance(self.channel, NemesisChannel):
             self.channel.dequeue_stopper()
         self.channel.open_send_gates()
@@ -139,6 +152,12 @@ class PclProtocol(BaseProtocol):
     """Blocking coordinated checkpointing inside MPICH2 (MPICH2-Pcl)."""
 
     protocol_name = "pcl"
+
+    #: test-only knob for repro.verify: setting this False disables the
+    #: send gates / Nemesis stopper and the receive freezing, which the
+    #: pcl-flush monitor must catch as payload crossing a flushed channel
+    #: (never disable outside tests)
+    channel_gating_enabled = True
 
     def __init__(self, *args, **kwargs) -> None:
         super().__init__(*args, **kwargs)

@@ -46,6 +46,11 @@ class InstantLauncher:
     def validate(self, n_ranks: int) -> None:
         """Raise if this environment cannot run ``n_ranks`` processes."""
 
+    def fd_budget(self) -> Dict[str, int]:
+        """Descriptor-budget facts for the runtime.validated trace record
+        (empty when this launcher has no file-descriptor wall)."""
+        return {}
+
     def spawn_delays(self, n_ranks: int) -> List[float]:
         """Per-rank start delays for a (re)launch."""
         return [0.0] * n_ranks
@@ -104,6 +109,13 @@ class FTRun:
     # ------------------------------------------------------------- lifecycle
     def start(self) -> None:
         self.launcher.validate(len(self.endpoints))
+        if self.sim.trace.wants("runtime.validated"):
+            self.sim.trace.record(
+                self.sim.now, "runtime.validated",
+                n_ranks=len(self.endpoints),
+                launcher=type(self.launcher).__name__,
+                **self.launcher.fd_budget(),
+            )
         self._started_at = self.sim.now
         self._launch(snapshots=None, logs=None, first=True)
 
@@ -129,8 +141,14 @@ class FTRun:
             # Vcl: the daemons replay the logged in-transit messages; they
             # land after the restored unexpected queues, preserving per-
             # channel FIFO order.
+            trace = self.sim.trace
+            live = trace.wants("ft.replayed")
+            wave = self.committed_wave()
             for rank, packets in logs.items():
                 for packet in packets:
+                    if live:
+                        trace.record(self.sim.now, "ft.replayed", rank=rank,
+                                     src=packet.src, seq=packet.seq, wave=wave)
                     job.channels[rank].matching.deliver(packet)
 
     def _on_job_completed(self, event) -> None:

@@ -76,6 +76,11 @@ class VclEndpoint(BaseEndpoint):
         self._log_bytes = 0.0
         self._image_stored = False
         self._acked = False
+        if self.sim.trace.wants("ft.logging_open"):
+            self.sim.trace.record(
+                self.sim.now, "ft.logging_open", rank=self.rank, wave=wave,
+                peers=tuple(sorted(self._logging_from)),
+            )
         # 3. markers to everyone; image transfer in the background
         if self._logging_from:
             self._spawn(self._send_markers(sorted(self._logging_from), wave),
@@ -108,13 +113,26 @@ class VclEndpoint(BaseEndpoint):
             self.start_wave(packet.wave)
             if packet.wave != self.wave:
                 return
+            if self.sim.trace.wants("ft.marker_recv"):
+                self.sim.trace.record(
+                    self.sim.now, "ft.marker_recv", rank=self.rank,
+                    src=packet.src, wave=packet.wave, protocol="vcl",
+                )
             if packet.src != SCHEDULER_ID:
                 self._logging_from.discard(packet.src)
                 self._check_local_done()
 
     def on_app_packet(self, packet: AppPacket) -> None:
         """Chandy–Lamport channel-state recording (the daemon's copy)."""
+        if not self.protocol.logging_enabled:
+            return
         if packet.src in self._logging_from:
+            if self.sim.trace.wants("ft.logged"):
+                self.sim.trace.record(
+                    self.sim.now, "ft.logged", rank=self.rank,
+                    src=packet.src, seq=packet.seq, wave=self.wave,
+                    nbytes=packet.nbytes,
+                )
             self._log.append(packet)
             self._log_bytes += packet.nbytes
             if isinstance(self.channel, ChVChannel):
@@ -190,6 +208,11 @@ class VclProtocol(BaseProtocol):
     """Non-blocking coordinated checkpointing inside MPICH-1 (MPICH-Vcl)."""
 
     protocol_name = "vcl"
+
+    #: test-only knob for repro.verify: setting this False disables the
+    #: daemon's channel-state logging, which the vcl-logging monitor must
+    #: catch as an incomplete cut (never disable outside tests)
+    logging_enabled = True
 
     def __init__(self, *args, scheduler_node: "Node" = None, **kwargs) -> None:
         super().__init__(*args, **kwargs)

@@ -23,13 +23,38 @@ EXPERIMENT_IDS = (
 
 
 def get_experiment(experiment_id: str) -> Callable:
-    """Resolve an experiment id to its ``run(profile)`` callable."""
+    """Resolve an experiment id to its ``run(profile)`` callable.
+
+    The returned callable wraps the figure's ``run``: it collects the
+    per-experiment verdicts of the online invariant monitors (every
+    :func:`repro.harness.runner.execute` call records them) into the
+    figure's result and adds a blanket "monitors clean" shape check, so a
+    protocol-invariant violation fails the figure like any paper claim.
+    """
     if experiment_id not in EXPERIMENT_IDS:
         raise KeyError(
             f"unknown experiment {experiment_id!r}; have {EXPERIMENT_IDS}"
         )
     module = import_module(f"repro.harness.figures.{experiment_id}")
-    return module.run
+
+    def run_with_monitors(profile):
+        from repro.harness.runner import drain_monitor_verdicts
+
+        drain_monitor_verdicts()  # drop leftovers of earlier figures
+        result = module.run(profile)
+        verdicts = drain_monitor_verdicts()
+        result.monitors = verdicts
+        dirty = sorted(
+            name for name, verdict in verdicts.items() if not verdict["ok"]
+        )
+        result.checks["online invariant monitors clean"] = not dirty
+        if dirty:
+            result.notes.append(
+                f"invariant violations in: {', '.join(dirty)}"
+            )
+        return result
+
+    return run_with_monitors
 
 
 __all__ = ["EXPERIMENT_IDS", "get_experiment"]

@@ -38,6 +38,9 @@ class FigureResult:
     checks: Dict[str, bool] = field(default_factory=dict)
     notes: List[str] = field(default_factory=list)
     profile: str = "quick"
+    #: per-experiment verdicts of the online invariant monitors
+    #: (:mod:`repro.verify`), filled in by the harness wrapper
+    monitors: Dict[str, Any] = field(default_factory=dict)
 
     @property
     def all_checks_pass(self) -> bool:
@@ -53,6 +56,7 @@ class FigureResult:
             "series": [s.as_dict() for s in self.series],
             "checks": self.checks,
             "notes": self.notes,
+            "monitors": self.monitors,
         }
 
 

@@ -15,8 +15,22 @@ from repro.ft.protocol import FTStats
 from repro.harness.config import Profile
 from repro.runtime import DeploymentSpec, build_run
 from repro.sim import Simulator
+from repro.verify import MonitorBus, all_monitors
 
-__all__ = ["RunResult", "execute", "default_channel"]
+__all__ = ["RunResult", "execute", "default_channel", "drain_monitor_verdicts"]
+
+#: per-experiment monitor verdicts accumulated by :func:`execute` (keyed by
+#: the experiment ``name``); the figure wrapper drains this into the
+#: figure's JSON so every result records whether its runs were clean
+_monitor_verdicts: Dict[str, Dict] = {}
+
+
+def drain_monitor_verdicts() -> Dict[str, Dict]:
+    """Return and clear the verdicts of every monitored run since the last
+    drain."""
+    drained = dict(_monitor_verdicts)
+    _monitor_verdicts.clear()
+    return drained
 
 
 def default_channel(protocol: Optional[str], network: str) -> str:
@@ -46,6 +60,12 @@ class RunResult:
     period: Optional[float]
     meta: Dict = field(default_factory=dict)
 
+    @property
+    def monitors_ok(self) -> Optional[bool]:
+        """Verdict of the online invariant monitors (None if not monitored)."""
+        info = self.meta.get("monitors")
+        return None if info is None else bool(info["ok"])
+
     def row(self) -> Dict:
         return {
             "protocol": self.protocol or "none",
@@ -74,15 +94,25 @@ def execute(
     seed: Optional[int] = None,
     time_limit: float = 1e8,
     name: str = "exp",
+    monitors: bool = True,
 ) -> RunResult:
     """Deploy and run one configuration to completion.
 
     ``period`` is in *paper* seconds; it is scaled by the profile here, as
     is the checkpoint image size (see :mod:`repro.harness.config`).
+
+    With ``monitors`` on (the default), every protocol invariant monitor of
+    :mod:`repro.verify` rides along and its verdicts land in
+    ``RunResult.meta["monitors"]`` — violations are collected rather than
+    raised so a broken run still yields a diagnosable result row.
     """
     bench.validate_procs(n_procs)
     channel = channel or default_channel(protocol, network)
     sim = Simulator(seed=profile.seed if seed is None else seed)
+    bus = None
+    if monitors:
+        bus = MonitorBus(all_monitors(), raise_on_violation=False)
+        bus.attach(sim)
     spec = DeploymentSpec(
         n_procs=n_procs,
         protocol=protocol,
@@ -98,6 +128,13 @@ def execute(
     run = build_run(sim, spec, bench.make_app(n_procs), name=name)
     run.start()
     completion = sim.run_until_complete(run.completed, limit=time_limit)
+    meta = {"network": network, "n_servers": n_servers,
+            "profile": profile.name, "bench": bench.describe(n_procs)}
+    if bus is not None:
+        bus.finish()
+        bus.detach()
+        meta["monitors"] = {"ok": bus.ok, "verdicts": bus.verdicts()}
+        _monitor_verdicts[name] = meta["monitors"]
     return RunResult(
         completion=completion,
         waves=run.stats.waves_completed,
@@ -106,6 +143,5 @@ def execute(
         channel=channel,
         n_procs=n_procs,
         period=period,
-        meta={"network": network, "n_servers": n_servers,
-              "profile": profile.name, "bench": bench.describe(n_procs)},
+        meta=meta,
     )

@@ -132,6 +132,8 @@ class BaseChannel:
         sent = yield from self._send_packet(dst, packet, gated=True)
         self.sim.trace.count("mpi.messages")
         self.sim.trace.count("mpi.bytes", nbytes)
+        if self.sim.trace.wants("mpi.send"):
+            self._record_send(packet, dst)
         return sent
 
     def send_control(self, dst: int, packet: Packet, nbytes: float):
@@ -196,7 +198,27 @@ class BaseChannel:
         packet = AppPacket(self.rank, tag, data, wire_bytes, self._next_seq())
         self.sim.trace.count("mpi.messages")
         self.sim.trace.count("mpi.bytes", nbytes)
+        if self.sim.trace.wants("mpi.send"):
+            self._record_send(packet, dst)
         return end.send(packet, wire_bytes, extra_latency=overhead)
+
+    def _record_send(self, packet: AppPacket, dst: int) -> None:
+        """Emit the mpi.send record at the commit point (monitored runs).
+
+        The record carries the sender's protocol view *at commit time* —
+        its latest snapshot wave and blocking state — which is exactly what
+        the orphan/flush invariants quantify over.
+        """
+        endpoint = self.protocol
+        self.sim.trace.record(
+            self.sim.now, "mpi.send",
+            job=self.job.uid, src=self.rank, dst=dst, seq=packet.seq,
+            nbytes=packet.nbytes,
+            wave=getattr(endpoint, "wave", 0),
+            state=getattr(endpoint, "state", "normal"),
+            protocol=getattr(getattr(endpoint, "protocol", None),
+                             "protocol_name", None),
+        )
 
     def transfer_tax(self) -> float:
         """Engine stall imposed on application messages while this rank's
@@ -240,6 +262,10 @@ class BaseChannel:
         if self.down:
             return
         if isinstance(packet, AppPacket):
+            trace = self.sim.trace
+            if trace.wants("mpi.recv"):
+                trace.record(self.sim.now, "mpi.recv", job=self.job.uid,
+                             rank=self.rank, src=packet.src, seq=packet.seq)
             if self.protocol is not None:
                 self.protocol.on_app_packet(packet)
             if packet.src in self._frozen_sources:
@@ -254,6 +280,10 @@ class BaseChannel:
                 self.job.on_unclaimed_control(self.rank, packet)
 
     def _deliver_app(self, packet: AppPacket) -> None:
+        trace = self.sim.trace
+        if trace.wants("mpi.deliver"):
+            trace.record(self.sim.now, "mpi.deliver", job=self.job.uid,
+                         rank=self.rank, src=packet.src, seq=packet.seq)
         self.matching.deliver(packet)
 
     # -------------------------------------------------------------- shutdown

@@ -49,6 +49,12 @@ class MPIJob:
             raise ValueError("a job needs at least one rank")
         self.app_factory = app_factory
         self.name = name
+        # Per-simulator unique id: names may repeat across incarnations and
+        # tests, but trace records (and the repro.verify monitors keying on
+        # them) need an unambiguous, deterministic job identity.
+        uid = getattr(sim, "_job_counter", 0) + 1
+        sim._job_counter = uid
+        self.uid = uid
         self.channels = [channel_cls(self, rank) for rank in range(self.size)]
         per_rank = image_bytes if callable(image_bytes) else (lambda _r: image_bytes)
         self.contexts = [
@@ -122,6 +128,9 @@ class MPIJob:
         if self.killed:
             return
         self.killed = True
+        if self.sim.trace.wants("job.killed"):
+            self.sim.trace.record(self.sim.now, "job.killed",
+                                  job=self.uid, name=self.name)
         for channel in self.channels:
             channel.shutdown()
         for process in self.app_processes:

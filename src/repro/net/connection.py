@@ -54,6 +54,7 @@ class _Pipe:
         "name",
         "_current_flow",
         "_last_delivery",
+        "_msg_id",
     )
 
     def __init__(
@@ -82,6 +83,9 @@ class _Pipe:
         self.name = name
         self._current_flow = None
         self._last_delivery = 0.0
+        #: FIFO position of the last message accepted for sending; ids are
+        #: only assigned while a monitor subscribes to net.* (repro.verify)
+        self._msg_id = 0
 
     # ------------------------------------------------------------------ send
     def send(self, payload: Any, nbytes: float, extra_latency: float = 0.0) -> Event:
@@ -90,6 +94,14 @@ class _Pipe:
         added to this message's delivery time (deferred host costs)."""
         if self.broken:
             raise BrokenConnectionError(f"send on broken pipe {self.name}")
+        trace = self.sim.trace
+        if trace.wants("net.sent"):
+            self._msg_id += 1
+            msg_id = self._msg_id
+            trace.record(self.sim.now, "net.sent", pipe=self.name,
+                         msg=msg_id, nbytes=nbytes)
+        else:
+            msg_id = 0
         sent = self.sim.event(name=f"sent:{self.name}")
         if (
             not self.pumping
@@ -111,9 +123,9 @@ class _Pipe:
             self.bytes_sent += nbytes
             self.messages_sent += 1
             sent.succeed()
-            self.sim.call_at(delivery - self.sim.now, self._deliver, payload)
+            self.sim.call_at(delivery - self.sim.now, self._deliver, payload, msg_id)
             return sent
-        self.egress.append((payload, nbytes, sent, extra_latency))
+        self.egress.append((payload, nbytes, sent, extra_latency, msg_id))
         if not self.pumping:
             self.pumping = True
             self.sim.process(self._pump(), name=f"pump:{self.name}")
@@ -121,7 +133,7 @@ class _Pipe:
 
     def _pump(self):
         while self.egress and not self.broken:
-            payload, nbytes, sent, extra_latency = self.egress.popleft()
+            payload, nbytes, sent, extra_latency, msg_id = self.egress.popleft()
             # Queueing penalty: packets of competing flows sit ahead of ours
             # in the NIC queues along the path.
             queueing = 0.0
@@ -147,11 +159,16 @@ class _Pipe:
             delivery = max(self.sim.now + self.latency + queueing + extra_latency,
                            self._last_delivery)
             self._last_delivery = delivery
-            self.sim.call_at(delivery - self.sim.now, self._deliver, payload)
+            self.sim.call_at(delivery - self.sim.now, self._deliver, payload, msg_id)
         self.pumping = False
 
-    def _deliver(self, payload: Any) -> None:
+    def _deliver(self, payload: Any, msg_id: int = 0) -> None:
         if not self.broken and not self.inbox.poisoned:
+            if msg_id:
+                trace = self.sim.trace
+                if trace.wants("net.delivered"):
+                    trace.record(self.sim.now, "net.delivered",
+                                 pipe=self.name, msg=msg_id)
             self.inbox.put(payload)
 
     # ----------------------------------------------------------------- break
@@ -225,8 +242,6 @@ class ConnectionEnd:
 class Connection:
     """A full-duplex FIFO stream between two endpoints."""
 
-    _counter = 0
-
     def __init__(
         self,
         sim: "Simulator",
@@ -239,8 +254,11 @@ class Connection:
         b: Any = "b",
         queue_bytes: float = 0.0,
     ) -> None:
-        Connection._counter += 1
-        self.id = Connection._counter
+        # Per-simulator ids keep pipe names (which end up in trace records)
+        # deterministic across repeated runs within one process.
+        counter = getattr(sim, "_connection_counter", 0) + 1
+        sim._connection_counter = counter
+        self.id = counter
         name = f"conn{self.id}"
         self.sim = sim
         pipe_ab = _Pipe(sim, scheduler, links_ab, latency, cap, f"{name}.ab",

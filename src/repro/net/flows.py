@@ -19,6 +19,7 @@ a flow is O(1) and stale timers are simply ignored.
 
 from __future__ import annotations
 
+import operator
 from typing import Iterable, List, Optional, Sequence, Set
 
 from repro.net.link import Link
@@ -27,6 +28,8 @@ __all__ = ["Flow", "FlowScheduler"]
 
 #: bytes below which a flow counts as finished (guards float drift)
 _EPSILON_BYTES = 1e-6
+
+_flow_index = operator.attrgetter("index")
 
 
 class FlowCancelled(ConnectionError):
@@ -47,10 +50,14 @@ class Flow:
         "finished",
         "cancelled",
         "_generation",
+        "index",
     )
 
     def __init__(self, links: Sequence[Link], nbytes: float, cap: Optional[float], done) -> None:
         self.links = tuple(links)
+        #: scheduler-assigned creation index; the deterministic iteration
+        #: key wherever flows are collected in (identity-hashed) sets
+        self.index = 0
         self.bytes_total = float(nbytes)
         self.bytes_remaining = float(nbytes)
         self.cap = cap
@@ -79,6 +86,7 @@ class FlowScheduler:
     def __init__(self, sim: "Simulator") -> None:
         self.sim = sim
         self.active: Set[Flow] = set()
+        self._counter = 0
 
     # ----------------------------------------------------------------- start
     def start(
@@ -93,6 +101,8 @@ class FlowScheduler:
             raise ValueError(f"negative flow size {nbytes!r}")
         done = self.sim.event(name="flow-done")
         flow = Flow(links, nbytes, cap, done)
+        self._counter += 1
+        flow.index = self._counter
         if nbytes <= _EPSILON_BYTES or not links:
             flow.finished = True
             done.succeed(flow)
@@ -143,7 +153,11 @@ class FlowScheduler:
         return rate
 
     def _rerate(self, flows: Iterable[Flow]) -> None:
-        for flow in flows:
+        # Sorted by creation index: flows live in identity-hashed sets whose
+        # iteration order varies run to run, but _schedule_finish assigns
+        # event seq numbers — same-instant completions must tie-break the
+        # same way every run or traces stop being reproducible.
+        for flow in sorted(flows, key=_flow_index):
             if not flow.active:
                 continue
             flow.rate = self._rate_of(flow)

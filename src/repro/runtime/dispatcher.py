@@ -14,7 +14,7 @@ is why the paper's large-scale (grid) experiments run Pcl only.
 
 from __future__ import annotations
 
-from typing import List
+from typing import Dict, List
 
 from repro.ft.recovery import InstantLauncher
 from repro.runtime.ssh import SshSpawner
@@ -39,16 +39,30 @@ class Dispatcher(InstantLauncher):
     """MPICH-V launcher with the select() scalability wall."""
 
     def __init__(self, ssh: SshSpawner = None,
-                 failure_cleanup_seconds: float = 1.0) -> None:
+                 failure_cleanup_seconds: float = 1.0,
+                 enforce_fd_limit: bool = True) -> None:
         self.ssh = ssh if ssh is not None else SshSpawner(concurrency=1)
         self.failure_cleanup_seconds = failure_cleanup_seconds
+        #: test-only knob for repro.verify: with enforcement off, an
+        #: oversubscribed launch proceeds and the fd-budget monitor must
+        #: flag the runtime.validated record instead
+        self.enforce_fd_limit = enforce_fd_limit
 
     def max_processes(self) -> int:
         return (SELECT_FD_LIMIT - RESERVED_FDS) // SOCKETS_PER_PROCESS
 
+    def fd_budget(self) -> Dict[str, int]:
+        """Budget facts consumed by the fd-budget invariant monitor."""
+        return {
+            "fd_limit": SELECT_FD_LIMIT,
+            "sockets_per_process": SOCKETS_PER_PROCESS,
+            "reserved_fds": RESERVED_FDS,
+            "max_processes": self.max_processes(),
+        }
+
     def validate(self, n_ranks: int) -> None:
         limit = self.max_processes()
-        if n_ranks > limit:
+        if n_ranks > limit and self.enforce_fd_limit:
             raise ScaleLimitError(
                 f"MPICH-V dispatcher: {n_ranks} processes need "
                 f"{n_ranks * SOCKETS_PER_PROCESS} sockets, but select() "

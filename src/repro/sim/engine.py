@@ -105,10 +105,18 @@ class Simulator:
         """Process exactly one event."""
         if not self._heap:
             raise SimulationError("step() on an empty event heap")
-        time, _priority, _seq, event = heapq.heappop(self._heap)
+        time, priority, seq, event = heapq.heappop(self._heap)
         if time < self._now:  # pragma: no cover - guarded by _push
             raise SimulationError("event heap went backwards in time")
         self._now = time
+        # Online monitors observe the raw pop order through the tracer's
+        # step listeners (repro.verify's total-order invariant); the list is
+        # empty unless a monitor asked for it, so the idle cost is one
+        # attribute chain and a branch per event.
+        listeners = self.trace.step_listeners
+        if listeners:
+            for listener in listeners:
+                listener(time, priority, seq)
         event._process()
 
     def run(self, until: Optional[float] = None) -> None:

@@ -6,15 +6,33 @@ part of the reproduction rather than debug output.
 
 Records are cheap plain tuples; when a category is not enabled the record call
 is a single dict lookup and a branch.
+
+The tracer is also the hub the online invariant monitors
+(:mod:`repro.verify`) plug into: a subscriber registers for a set of
+categories and is handed every matching :class:`TraceRecord` *as it is
+emitted*, whether or not the record is also stored.  Hot call sites guard
+their record construction with :meth:`Tracer.wants`, so a tracer with no
+storage and no subscribers costs one method call per potential record.
 """
 
 from __future__ import annotations
 
+import json
 from collections import Counter
-from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, Iterator, List, Optional, Set, Tuple
+from dataclasses import dataclass
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Set,
+    Tuple,
+)
 
-__all__ = ["TraceRecord", "Tracer"]
+__all__ = ["TraceRecord", "Tracer", "dump_jsonl", "load_jsonl"]
 
 
 @dataclass(frozen=True)
@@ -41,10 +59,12 @@ class Tracer:
     Parameters
     ----------
     enabled:
-        Master switch.  A disabled tracer still accumulates counters (they are
-        nearly free and the harness always needs them) but drops records.
+        Master switch for record *storage*.  A disabled tracer still
+        accumulates counters (they are nearly free and the harness always
+        needs them) and still feeds subscribers, but drops records.
     categories:
-        When given, only these categories are recorded.
+        When given, only these categories are stored.  Subscribers declare
+        their own category interest independently.
     """
 
     def __init__(
@@ -56,14 +76,69 @@ class Tracer:
         self.categories: Optional[Set[str]] = set(categories) if categories else None
         self.records: List[TraceRecord] = []
         self.counters: Counter = Counter()
+        #: (callback, categories-or-None) pairs fed live records
+        self._subscribers: List[Tuple[Callable[[TraceRecord], None], Optional[Set[str]]]] = []
+        #: union of subscribed categories; None entries set :attr:`_all_live`
+        self._live: Set[str] = set()
+        self._all_live = False
+        #: callbacks the simulator invokes once per processed event with
+        #: ``(time, priority, seq)`` — the raw total-order stream, kept out
+        #: of the record path because it fires for *every* heap pop
+        self.step_listeners: List[Callable[[float, int, int], None]] = []
 
     # --------------------------------------------------------------- records
-    def record(self, time: float, category: str, **fields: Any) -> None:
+    def wants(self, category: str) -> bool:
+        """True when a record of ``category`` would be stored or delivered.
+
+        Hot paths call this before building a record's field dict.
+        """
+        if self._all_live or category in self._live:
+            return True
         if not self.enabled:
+            return False
+        return self.categories is None or category in self.categories
+
+    def record(self, time: float, category: str, **fields: Any) -> None:
+        store = self.enabled and (
+            self.categories is None or category in self.categories
+        )
+        live = self._all_live or category in self._live
+        if not store and not live:
             return
-        if self.categories is not None and category not in self.categories:
-            return
-        self.records.append(TraceRecord(time, category, tuple(fields.items())))
+        entry = TraceRecord(time, category, tuple(fields.items()))
+        if store:
+            self.records.append(entry)
+        if live:
+            for callback, wanted in self._subscribers:
+                if wanted is None or category in wanted:
+                    callback(entry)
+
+    def subscribe(
+        self,
+        callback: Callable[[TraceRecord], None],
+        categories: Optional[Iterable[str]] = None,
+    ) -> None:
+        """Deliver matching records to ``callback`` as they are emitted.
+
+        ``categories=None`` subscribes to everything.
+        """
+        wanted = set(categories) if categories is not None else None
+        self._subscribers.append((callback, wanted))
+        if wanted is None:
+            self._all_live = True
+        else:
+            self._live |= wanted
+
+    def unsubscribe(self, callback: Callable[[TraceRecord], None]) -> None:
+        # Equality, not identity: bound methods (`bus.dispatch`) are a fresh
+        # object on every attribute access, but compare equal.
+        self._subscribers = [
+            (cb, cats) for cb, cats in self._subscribers if cb != callback
+        ]
+        self._all_live = any(cats is None for _cb, cats in self._subscribers)
+        self._live = set().union(
+            *(cats for _cb, cats in self._subscribers if cats is not None)
+        ) if self._subscribers else set()
 
     def select(self, category: str) -> Iterator[TraceRecord]:
         """All records of ``category`` in chronological order."""
@@ -85,3 +160,33 @@ class Tracer:
     def clear(self) -> None:
         self.records.clear()
         self.counters.clear()
+
+
+# ------------------------------------------------------------------ JSONL IO
+def dump_jsonl(records: Iterable[TraceRecord], path: str) -> int:
+    """Write records as JSON lines ``{"time", "category", ...fields}``.
+
+    Non-JSON-serializable field values are stored as their ``repr``.
+    Returns the number of records written.
+    """
+    written = 0
+    with open(path, "w") as handle:
+        for record in records:
+            row = {"time": record.time, "category": record.category}
+            row.update(record.as_dict())
+            handle.write(json.dumps(row, default=repr) + "\n")
+            written += 1
+    return written
+
+
+def load_jsonl(path: str) -> Iterator[TraceRecord]:
+    """Yield :class:`TraceRecord` entries from a :func:`dump_jsonl` file."""
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            row = json.loads(line)
+            time = row.pop("time")
+            category = row.pop("category")
+            yield TraceRecord(float(time), category, tuple(row.items()))

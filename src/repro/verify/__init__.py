@@ -1,0 +1,54 @@
+"""Online protocol-invariant monitors.
+
+This package watches the structured trace stream (:mod:`repro.sim.trace`)
+*while the simulation runs* and validates the correctness properties both
+checkpointing protocols rest on — the properties DESIGN.md's offline
+hypothesis tests check at the op level, enforced continuously and at the
+packet level for every monitored run:
+
+* the simulation clock is monotone and the event order is the deterministic
+  total order the engine promises;
+* every connection delivers FIFO (the channel property Chandy–Lamport
+  requires);
+* Vcl snapshots are orphan-free cuts and the daemon logs every in-transit
+  message crossing a cut, replaying it exactly once on restart;
+* Pcl never lets an application payload cross a channel between the marker
+  and the local checkpoint (send gates / Nemesis stopper / delayed
+  receives);
+* the MPICH-V dispatcher's 3-sockets-per-process budget never exceeds the
+  1024-descriptor ``select()`` wall.
+
+Attach all monitors to a simulator with::
+
+    from repro.verify import MonitorBus, all_monitors
+    bus = MonitorBus(all_monitors())
+    bus.attach(sim)
+    ...  # run; InvariantViolation raises at the offending event
+    bus.finish()
+
+Offline checking of a dumped trace: ``python -m repro.verify trace.jsonl``.
+"""
+
+from repro.verify.base import InvariantViolation, Monitor, MonitorBus
+from repro.verify.monitors import (
+    FdBudgetMonitor,
+    FifoDeliveryMonitor,
+    MonotoneClockMonitor,
+    PclFlushMonitor,
+    VclLoggingMonitor,
+    VclNoOrphanMonitor,
+    all_monitors,
+)
+
+__all__ = [
+    "InvariantViolation",
+    "Monitor",
+    "MonitorBus",
+    "MonotoneClockMonitor",
+    "FifoDeliveryMonitor",
+    "VclNoOrphanMonitor",
+    "VclLoggingMonitor",
+    "PclFlushMonitor",
+    "FdBudgetMonitor",
+    "all_monitors",
+]

@@ -1,0 +1,213 @@
+"""Monitor framework: the bus, the base class, the violation type.
+
+A :class:`Monitor` is a small online state machine fed
+:class:`~repro.sim.trace.TraceRecord` entries in emission order.  The
+:class:`MonitorBus` owns the subscription to a simulator's tracer, routes
+records to the monitors interested in their category, and keeps a sliding
+window of recent records so a violation can point at the offending event
+context rather than just a message.
+
+Monitors never mutate simulation state; they mirror just enough of it
+(per-rank wave counters, marker sets, frozen sources) to evaluate their
+invariant, and they reset those mirrors on the failure/restart records so
+rollback-recovery runs stay checkable across incarnations.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Iterable, List, Optional, Tuple
+
+from repro.sim.trace import TraceRecord
+
+__all__ = ["InvariantViolation", "Monitor", "MonitorBus"]
+
+
+class InvariantViolation(AssertionError):
+    """A protocol invariant observably failed at a specific event.
+
+    Carries the monitor name, the simulation time, and the window of trace
+    records leading up to (and including) the offending one.
+    """
+
+    def __init__(
+        self,
+        monitor: str,
+        message: str,
+        time: float,
+        window: Iterable[TraceRecord] = (),
+    ) -> None:
+        self.monitor = monitor
+        self.message = message
+        self.time = time
+        self.window: List[TraceRecord] = list(window)
+        lines = [f"[{monitor}] t={time:.6f}: {message}"]
+        if self.window:
+            lines.append("event window (oldest first):")
+            for record in self.window:
+                fields = " ".join(f"{k}={v!r}" for k, v in record.fields)
+                lines.append(f"  t={record.time:.6f} {record.category} {fields}")
+        super().__init__("\n".join(lines))
+
+
+class Monitor:
+    """Base class for one online invariant checker."""
+
+    #: stable identifier used in verdicts and violation reports
+    name = "monitor"
+    #: trace categories this monitor consumes; None subscribes to everything
+    categories: Optional[Tuple[str, ...]] = None
+    #: set True to also receive the engine's raw (time, priority, seq) pops
+    wants_steps = False
+
+    def __init__(self) -> None:
+        self.bus: Optional["MonitorBus"] = None
+        #: events this monitor actually inspected (for verdict reporting)
+        self.checked = 0
+
+    # ------------------------------------------------------------- plumbing
+    def attach(self, bus: "MonitorBus") -> None:
+        self.bus = bus
+
+    def violation(self, time: float, message: str) -> None:
+        """Report an invariant violation (raises unless the bus collects)."""
+        if self.bus is not None:
+            self.bus.report(self, time, message)
+        else:  # standalone monitor, e.g. in unit tests
+            raise InvariantViolation(self.name, message, time)
+
+    # ----------------------------------------------------------------- hooks
+    def on_record(self, record: TraceRecord) -> None:
+        """Consume one trace record (categories filtered by the bus)."""
+
+    def on_step(self, time: float, priority: int, seq: int) -> None:
+        """Consume one engine heap pop (only when ``wants_steps``)."""
+
+    def finish(self) -> None:
+        """End-of-run checks (completeness properties)."""
+
+
+class MonitorBus:
+    """Routes a tracer's record stream to a set of monitors.
+
+    Parameters
+    ----------
+    monitors:
+        Monitor instances; each is attached to this bus.
+    raise_on_violation:
+        When True (the default, used by tests) a violation raises
+        :class:`InvariantViolation` at the offending event.  When False
+        (harness mode) violations are collected and reported in
+        :meth:`verdicts`.
+    window:
+        Number of recent records retained as the violation's event window.
+    """
+
+    def __init__(
+        self,
+        monitors: Iterable[Monitor],
+        raise_on_violation: bool = True,
+        window: int = 24,
+    ) -> None:
+        self.monitors: List[Monitor] = list(monitors)
+        self.raise_on_violation = raise_on_violation
+        self.violations: List[InvariantViolation] = []
+        self._window: Deque[TraceRecord] = deque(maxlen=window)
+        self._by_category: Dict[str, List[Monitor]] = {}
+        self._wildcards: List[Monitor] = []
+        #: category -> flat [interested..., wildcards...] list, built lazily
+        self._route: Dict[str, List[Monitor]] = {}
+        self._steppers: List[Monitor] = []
+        self._tracer = None
+        self._step_callback = None
+        for monitor in self.monitors:
+            monitor.attach(self)
+            if monitor.categories is None:
+                self._wildcards.append(monitor)
+            else:
+                for category in monitor.categories:
+                    self._by_category.setdefault(category, []).append(monitor)
+            if monitor.wants_steps:
+                self._steppers.append(monitor)
+
+    # ---------------------------------------------------------- attachment
+    def categories(self) -> Optional[List[str]]:
+        """Union of monitor category interests (None = everything)."""
+        if self._wildcards:
+            return None
+        return sorted(self._by_category)
+
+    def attach(self, sim: "Simulator") -> None:
+        """Subscribe to ``sim``'s tracer (records and, if needed, steps)."""
+        if self._tracer is not None:
+            raise RuntimeError("MonitorBus is already attached")
+        self._tracer = sim.trace
+        self._tracer.subscribe(self.dispatch, self.categories())
+        if self._steppers:
+            # With a single stepper, skip the fan-out indirection: the
+            # listener fires once per heap pop, millions of times per run.
+            self._step_callback = (
+                self._steppers[0].on_step if len(self._steppers) == 1
+                else self._on_step
+            )
+            self._tracer.step_listeners.append(self._step_callback)
+
+    def detach(self) -> None:
+        if self._tracer is None:
+            return
+        self._tracer.unsubscribe(self.dispatch)
+        if self._step_callback is not None:
+            if self._step_callback in self._tracer.step_listeners:
+                self._tracer.step_listeners.remove(self._step_callback)
+            self._step_callback = None
+        self._tracer = None
+
+    # ------------------------------------------------------------- dispatch
+    def dispatch(self, record: TraceRecord) -> None:
+        """Feed one record to every interested monitor (also the offline
+        entry point: the CLI calls this for each JSONL record)."""
+        self._window.append(record)
+        route = self._route.get(record.category)
+        if route is None:
+            route = self._by_category.get(record.category, []) + self._wildcards
+            self._route[record.category] = route
+        for monitor in route:
+            monitor.on_record(record)
+
+    def _on_step(self, time: float, priority: int, seq: int) -> None:
+        for monitor in self._steppers:
+            monitor.on_step(time, priority, seq)
+
+    # --------------------------------------------------------------- results
+    def report(self, monitor: Monitor, time: float, message: str) -> None:
+        violation = InvariantViolation(monitor.name, message, time,
+                                       window=self._window)
+        self.violations.append(violation)
+        if self.raise_on_violation:
+            raise violation
+
+    def finish(self) -> List[InvariantViolation]:
+        """Run end-of-stream checks; returns all collected violations."""
+        for monitor in self.monitors:
+            monitor.finish()
+        return self.violations
+
+    def verdicts(self) -> Dict[str, Dict]:
+        """Per-monitor verdict: ok flag, events checked, violation texts."""
+        by_monitor: Dict[str, List[str]] = {m.name: [] for m in self.monitors}
+        for violation in self.violations:
+            by_monitor.setdefault(violation.monitor, []).append(
+                violation.message
+            )
+        return {
+            monitor.name: {
+                "ok": not by_monitor.get(monitor.name),
+                "checked": monitor.checked,
+                "violations": by_monitor.get(monitor.name, []),
+            }
+            for monitor in self.monitors
+        }
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations

@@ -1,0 +1,523 @@
+"""The six shipped invariant monitors.
+
+Provenance of each invariant:
+
+* **monotone-clock** — the deterministic total event order of
+  :class:`repro.sim.engine.Simulator` (DESIGN.md §7): heap pops are ordered
+  by ``(time, priority, seq)`` and the clock never runs backwards.
+* **fifo-delivery** — Chandy & Lamport's channel assumption ("Distributed
+  snapshots", 1985) that both protocols inherit: every connection delivers
+  messages in send order, at the pipe level and per (receiver, source) MPI
+  channel.
+* **vcl-no-orphan** — the no-orphan-message property of the Chandy–Lamport
+  cut (paper Sec. 3, Fig. 1): a message received before the receiver's wave-w
+  snapshot must have been sent before the sender's wave-w snapshot.
+* **vcl-logging** — channel-state completeness (paper Sec. 3/4.1): every
+  in-transit message crossing the cut (delivered after the receiver's
+  snapshot, before the sender's marker) is copied into the daemon log and
+  replayed exactly once per restart from that wave.
+* **pcl-flush** — the channel-flush property of the blocking protocol
+  (paper Sec. 3, Fig. 2): after the marker, no application payload crosses
+  a channel until the local checkpoint completes — sends are gated (the
+  Nemesis stopper) and receptions from marked sources are delayed.
+* **fd-budget** — the MPICH-V dispatcher's scalability wall (paper
+  Sec. 5.4): 3 sockets per process multiplexed with ``select()``, whose fd
+  set caps at 1024.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set, Tuple
+
+from repro.sim.trace import TraceRecord
+from repro.verify.base import Monitor
+
+__all__ = [
+    "MonotoneClockMonitor",
+    "FifoDeliveryMonitor",
+    "VclNoOrphanMonitor",
+    "VclLoggingMonitor",
+    "PclFlushMonitor",
+    "FdBudgetMonitor",
+    "all_monitors",
+]
+
+#: sentinel ranks (the Vcl scheduler) that never appear in logging windows
+_PSEUDO_RANK_CEILING = 0
+
+
+def _is_pseudo(rank: int) -> bool:
+    return rank < _PSEUDO_RANK_CEILING
+
+
+class MonotoneClockMonitor(Monitor):
+    """Simulation time is monotone; event pops follow the total order.
+
+    Events scheduled *while processing* a same-timestamp event legally pop
+    after it despite a more urgent (priority, seq) key, so the checkable
+    property is: within one timestamp, a pop must never be preceded by the
+    pop of a *later-pushed* (higher seq) event of equal or lower urgency —
+    an earlier-pushed event at equal-or-higher urgency can never still be
+    pending when a dominated one pops.
+    """
+
+    name = "monotone-clock"
+    categories = None  # every record carries a timestamp to check
+    wants_steps = True
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._time = -1.0
+        # Highest seq popped at the current timestamp, split by the engine's
+        # two priority levels (URGENT=0, NORMAL=1).  Scalars, not a dict:
+        # this method runs once per heap pop, millions of times per run.
+        self._max_urgent = -1
+        self._max_normal = -1
+        self._last_record_time = -1.0
+
+    def on_step(self, time: float, priority: int, seq: int) -> None:
+        self.checked += 1
+        if time != self._time:
+            if time < self._time:
+                self.violation(
+                    time,
+                    f"event pop at t={time} after a pop at t={self._time} — "
+                    "the simulation clock ran backwards",
+                )
+            self._time = time
+            if priority:
+                self._max_normal = seq
+                self._max_urgent = -1
+            else:
+                self._max_urgent = seq
+                self._max_normal = -1
+            return
+        # A pop is dominated when an event popped earlier at this timestamp
+        # had equal-or-lower urgency (priority >= ours) yet a higher seq
+        # (pushed later): we were already pending and should have won.
+        if priority:
+            if self._max_normal > seq:
+                self.violation(
+                    time,
+                    f"event (priority={priority}, seq={seq}) popped after "
+                    f"(priority=1, seq={self._max_normal}) at the same "
+                    f"t={time} although it was pushed earlier at equal or "
+                    "higher urgency — deterministic total order broken",
+                )
+            else:
+                self._max_normal = seq
+        else:
+            worst = self._max_normal if self._max_normal > self._max_urgent \
+                else self._max_urgent
+            if worst > seq:
+                self.violation(
+                    time,
+                    f"event (priority={priority}, seq={seq}) popped after "
+                    f"(seq={worst}) at the same t={time} although it was "
+                    "pushed earlier at equal or higher urgency — "
+                    "deterministic total order broken",
+                )
+            if seq > self._max_urgent:
+                self._max_urgent = seq
+
+    def on_record(self, record: TraceRecord) -> None:
+        self.checked += 1
+        if record.time < self._last_record_time - 1e-12:
+            self.violation(
+                record.time,
+                f"trace record {record.category!r} at t={record.time} emitted "
+                f"after a record at t={self._last_record_time} — simulation "
+                "clock ran backwards",
+            )
+        else:
+            self._last_record_time = record.time
+
+
+class FifoDeliveryMonitor(Monitor):
+    """Connections deliver FIFO: per pipe and per (receiver, source)."""
+
+    name = "fifo-delivery"
+    categories = ("net.sent", "net.delivered", "mpi.recv", "mpi.deliver")
+
+    def __init__(self) -> None:
+        super().__init__()
+        #: pipe name -> (highest id accepted for send, highest id delivered)
+        self._pipes: Dict[str, Tuple[int, int]] = {}
+        #: (job, rank, src) -> last seq seen arriving at the channel
+        self._arrivals: Dict[Tuple[str, int, int], int] = {}
+        #: (job, rank, src) -> last seq handed to the matching engine
+        self._deliveries: Dict[Tuple[str, int, int], int] = {}
+
+    def on_record(self, record: TraceRecord) -> None:
+        self.checked += 1
+        category = record.category
+        fields = dict(record.fields)  # one C-level build beats repeated get()
+        if category == "net.sent":
+            pipe = fields["pipe"]
+            sent, delivered = self._pipes.get(pipe, (0, 0))
+            self._pipes[pipe] = (max(sent, fields.get("msg", 0)), delivered)
+        elif category == "net.delivered":
+            pipe = fields["pipe"]
+            msg = fields.get("msg", 0)
+            sent, delivered = self._pipes.get(pipe, (0, 0))
+            if msg <= delivered:
+                self.violation(
+                    record.time,
+                    f"pipe {pipe}: message #{msg} delivered after #{delivered} "
+                    "— out-of-order (or duplicate) delivery on a FIFO pipe",
+                )
+            if msg > sent:
+                self.violation(
+                    record.time,
+                    f"pipe {pipe}: message #{msg} delivered but only #{sent} "
+                    "was ever sent",
+                )
+            self._pipes[pipe] = (sent, max(delivered, msg))
+        elif category == "mpi.recv":
+            key = (fields.get("job"), fields.get("rank"), fields.get("src"))
+            seq = fields.get("seq", 0)
+            last = self._arrivals.get(key, 0)
+            if seq <= last:
+                self.violation(
+                    record.time,
+                    f"rank {key[1]} received packet #{seq} from rank {key[2]} "
+                    f"after #{last} (job {key[0]}) — per-connection FIFO "
+                    "arrival order broken",
+                )
+            self._arrivals[key] = max(last, seq)
+        else:  # mpi.deliver
+            key = (fields.get("job"), fields.get("rank"), fields.get("src"))
+            seq = fields.get("seq", 0)
+            last = self._deliveries.get(key, 0)
+            if seq <= last:
+                self.violation(
+                    record.time,
+                    f"rank {key[1]} delivered packet #{seq} from rank {key[2]} "
+                    f"to matching after #{last} (job {key[0]}) — per-channel "
+                    "FIFO delivery order broken (delayed queue released out "
+                    "of order?)",
+                )
+            self._deliveries[key] = max(last, seq)
+
+
+class VclNoOrphanMonitor(Monitor):
+    """No orphan messages in a Vcl cut.
+
+    A message delivered to rank *r* while *r*'s latest Vcl snapshot is wave
+    ``w_r`` must not have been sent by a rank whose snapshot wave at send
+    time exceeded ``w_r``: that message would be *received* in the global
+    checkpoint without its *send* being part of it (and it is not channel
+    state — it was sent after the sender's checkpoint).  FIFO plus
+    marker-before-payload makes this impossible in a correct run.
+    """
+
+    name = "vcl-no-orphan"
+    categories = ("mpi.send", "mpi.deliver", "ft.local_checkpoint",
+                  "ft.restarted", "job.killed")
+
+    def __init__(self) -> None:
+        super().__init__()
+        #: (job, src, seq) -> sender's snapshot wave when the send committed
+        self._sends: Dict[Tuple[str, int, int], int] = {}
+        #: rank -> latest Vcl snapshot wave
+        self._rank_wave: Dict[int, int] = {}
+
+    def on_record(self, record: TraceRecord) -> None:
+        self.checked += 1
+        category = record.category
+        if category == "mpi.send":
+            if record.get("protocol") != "vcl":
+                return  # waves of other protocols are not Chandy–Lamport cuts
+            key = (record.get("job"), record.get("src"), record.get("seq"))
+            self._sends[key] = record.get("wave", 0)
+        elif category == "mpi.deliver":
+            key = (record.get("job"), record.get("src"), record.get("seq"))
+            send_wave = self._sends.pop(key, 0)
+            if not send_wave:
+                return
+            rank = record.get("rank")
+            rank_wave = self._rank_wave.get(rank, 0)
+            if send_wave > rank_wave:
+                self.violation(
+                    record.time,
+                    f"orphan message: rank {key[1]} sent packet #{key[2]} "
+                    f"after its wave-{send_wave} snapshot, but rank {rank} "
+                    f"received it before its own wave-{send_wave} snapshot "
+                    f"(receiver is still at wave {rank_wave}) — the cut "
+                    "records a receive without its send",
+                )
+        elif category == "ft.local_checkpoint":
+            if record.get("protocol") == "vcl":
+                rank = record.get("rank")
+                self._rank_wave[rank] = max(
+                    self._rank_wave.get(rank, 0), record.get("wave", 0)
+                )
+        elif category == "ft.restarted":
+            # Roll every mirror back to the restart wave: the new
+            # incarnation's endpoints restart their wave counters from it.
+            wave = record.get("wave", 0)
+            for rank in self._rank_wave:
+                self._rank_wave[rank] = wave
+            self._sends.clear()
+        else:  # job.killed — in-flight sends of that job will never deliver
+            job = record.get("job")
+            for key in [k for k in self._sends if k[0] == job]:
+                del self._sends[key]
+
+
+class VclLoggingMonitor(Monitor):
+    """Vcl channel-state completeness: log in-transit, replay exactly once.
+
+    While rank *r* is logging for wave *w* (between its snapshot and the
+    marker of peer *p* on that channel), every application packet from *p*
+    delivered at *r* crosses the cut and must appear in the daemon log.
+    After a rollback to wave *w*, the replayed messages must be exactly the
+    wave-*w* log — nothing lost, nothing duplicated, nothing invented.
+    """
+
+    name = "vcl-logging"
+    categories = ("ft.logging_open", "ft.marker_recv", "ft.logged",
+                  "mpi.deliver", "ft.replayed", "ft.restarted",
+                  "ft.failure_detected")
+
+    def __init__(self) -> None:
+        super().__init__()
+        #: rank -> set of peers whose marker is still outstanding
+        self._window: Dict[int, Set[int]] = {}
+        #: rank -> wave the open window belongs to
+        self._window_wave: Dict[int, int] = {}
+        #: (wave, rank) -> {(src, seq), ...} logged by the daemon
+        self._logged: Dict[Tuple[int, int], Set[Tuple[int, int]]] = {}
+        #: active replay session: wave and per-rank replayed sets
+        self._replay_wave: Optional[int] = None
+        self._replayed: Dict[int, Set[Tuple[int, int]]] = {}
+
+    def on_record(self, record: TraceRecord) -> None:
+        self.checked += 1
+        category = record.category
+        if category == "ft.logging_open":
+            rank = record.get("rank")
+            self._window[rank] = set(record.get("peers", ()))
+            self._window_wave[rank] = record.get("wave", 0)
+        elif category == "ft.marker_recv":
+            if record.get("protocol") == "vcl":
+                src = record.get("src")
+                if not _is_pseudo(src):
+                    self._window.get(record.get("rank"), set()).discard(src)
+        elif category == "ft.logged":
+            rank = record.get("rank")
+            src = record.get("src")
+            wave = record.get("wave", 0)
+            if src not in self._window.get(rank, ()):
+                self.violation(
+                    record.time,
+                    f"rank {rank} logged packet #{record.get('seq')} from "
+                    f"rank {src} outside its wave-{wave} logging window — "
+                    "over-logging would replay a message whose send is "
+                    "already in the cut",
+                )
+            self._logged.setdefault((wave, rank), set()).add(
+                (src, record.get("seq"))
+            )
+        elif category == "mpi.deliver":
+            rank = record.get("rank")
+            src = record.get("src")
+            window = self._window.get(rank)
+            if window and src in window:
+                wave = self._window_wave.get(rank, 0)
+                entry = (src, record.get("seq"))
+                if entry not in self._logged.get((wave, rank), ()):
+                    self.violation(
+                        record.time,
+                        f"in-transit message crossing the wave-{wave} cut was "
+                        f"not logged: rank {rank} delivered packet "
+                        f"#{record.get('seq')} from rank {src} after its "
+                        "snapshot and before that channel's marker, but the "
+                        "daemon log has no copy — the channel state is "
+                        "incomplete and a rollback would lose this message",
+                    )
+        elif category == "ft.replayed":
+            rank = record.get("rank")
+            wave = record.get("wave", 0)
+            entry = (record.get("src"), record.get("seq"))
+            logged = self._logged.get((wave, rank), set())
+            if self._replay_wave != wave:
+                self.violation(
+                    record.time,
+                    f"rank {rank} replayed a wave-{wave} message but the "
+                    f"restart rolled back to wave {self._replay_wave}",
+                )
+            if entry not in logged:
+                self.violation(
+                    record.time,
+                    f"rank {rank} replayed packet #{entry[1]} from rank "
+                    f"{entry[0]} that was never logged for wave {wave}",
+                )
+            replayed = self._replayed.setdefault(rank, set())
+            if entry in replayed:
+                self.violation(
+                    record.time,
+                    f"rank {rank} replayed packet #{entry[1]} from rank "
+                    f"{entry[0]} twice in one restart",
+                )
+            replayed.add(entry)
+        elif category == "ft.restarted":
+            self._close_replay_session(record.time)
+            wave = record.get("wave", 0)
+            self._replay_wave = wave
+            self._replayed = {}
+            # windows of the dead incarnation are gone, and so are the logs
+            # of every wave past the rollback point: those waves never
+            # committed, and the new incarnation's packet seq counters
+            # restart, so their (src, seq) entries must not linger
+            self._window.clear()
+            self._window_wave.clear()
+            self._logged = {
+                key: entries for key, entries in self._logged.items()
+                if key[0] <= wave
+            }
+        else:  # ft.failure_detected: logging windows die with the job
+            self._window.clear()
+            self._window_wave.clear()
+
+    def _close_replay_session(self, time: float) -> None:
+        if self._replay_wave is None:
+            return
+        wave = self._replay_wave
+        for (logged_wave, rank), entries in self._logged.items():
+            if logged_wave != wave:
+                continue
+            missing = entries - self._replayed.get(rank, set())
+            if missing:
+                self.violation(
+                    time,
+                    f"rank {rank} never replayed {len(missing)} logged "
+                    f"wave-{wave} message(s) after the rollback to wave "
+                    f"{wave}: {sorted(missing)[:5]} — logged channel state "
+                    "was lost",
+                )
+        self._replay_wave = None
+        self._replayed = {}
+
+    def finish(self) -> None:
+        self._close_replay_session(-1.0)
+
+
+class PclFlushMonitor(Monitor):
+    """Pcl channel flush: nothing crosses between marker and checkpoint.
+
+    Send side: a rank in the ``checkpointing`` state must not commit an
+    application payload to the wire (its gates are closed / the Nemesis
+    stopper is queued).  Receive side: once rank *r* holds the marker of
+    peer *p*, application packets from *p* must not reach the matching
+    engine until *r*'s local checkpoint completes (the delayed receive
+    queue).
+    """
+
+    name = "pcl-flush"
+    categories = ("mpi.send", "mpi.deliver", "ft.enter_wave", "ft.resume",
+                  "ft.marker_recv", "ft.restarted", "ft.failure_detected",
+                  "job.killed")
+
+    def __init__(self) -> None:
+        super().__init__()
+        #: ranks currently between wave entry and post-checkpoint resume
+        self._checkpointing: Set[int] = set()
+        #: rank -> wave being checkpointed
+        self._wave: Dict[int, int] = {}
+        #: rank -> sources whose marker arrived (receptions must be delayed)
+        self._frozen: Dict[int, Set[int]] = {}
+
+    def _reset(self) -> None:
+        self._checkpointing.clear()
+        self._wave.clear()
+        self._frozen.clear()
+
+    def on_record(self, record: TraceRecord) -> None:
+        self.checked += 1
+        category = record.category
+        if category == "mpi.send":
+            src = record.get("src")
+            if src in self._checkpointing:
+                self.violation(
+                    record.time,
+                    f"rank {src} put application packet #{record.get('seq')} "
+                    f"({record.get('nbytes', 0):.0f}B to rank "
+                    f"{record.get('dst')}) on the wire while checkpointing "
+                    f"wave {self._wave.get(src)} — payload crossed the "
+                    "channel between the marker and the local checkpoint "
+                    "(send gates / Nemesis stopper bypassed)",
+                )
+        elif category == "mpi.deliver":
+            rank = record.get("rank")
+            src = record.get("src")
+            if rank in self._checkpointing and src in self._frozen.get(rank, ()):
+                self.violation(
+                    record.time,
+                    f"rank {rank} delivered packet #{record.get('seq')} from "
+                    f"rank {src} to matching while checkpointing wave "
+                    f"{self._wave.get(rank)} although rank {src}'s marker "
+                    "had arrived — the reception must sit in the delayed "
+                    "queue until the local checkpoint completes",
+                )
+        elif category == "ft.enter_wave":
+            rank = record.get("rank")
+            self._checkpointing.add(rank)
+            self._wave[rank] = record.get("wave", 0)
+            self._frozen[rank] = set()
+        elif category == "ft.resume":
+            rank = record.get("rank")
+            self._checkpointing.discard(rank)
+            self._frozen.pop(rank, None)
+        elif category == "ft.marker_recv":
+            if record.get("protocol") == "pcl":
+                rank = record.get("rank")
+                if rank in self._checkpointing and \
+                        record.get("wave", 0) == self._wave.get(rank):
+                    self._frozen.setdefault(rank, set()).add(record.get("src"))
+        else:  # ft.restarted / ft.failure_detected / job.killed
+            self._reset()
+
+
+class FdBudgetMonitor(Monitor):
+    """The dispatcher's select() budget: 3 sockets/process, 1024 fds."""
+
+    name = "fd-budget"
+    categories = ("runtime.validated",)
+
+    def on_record(self, record: TraceRecord) -> None:
+        self.checked += 1
+        limit = record.get("fd_limit")
+        per_process = record.get("sockets_per_process")
+        if limit is None or per_process is None:
+            return  # launcher without an fd budget (InstantLauncher, FTPM)
+        n_ranks = record.get("n_ranks", 0)
+        reserved = record.get("reserved_fds", 0)
+        fds = reserved + n_ranks * per_process
+        if fds > limit:
+            self.violation(
+                record.time,
+                f"{record.get('launcher')} launched {n_ranks} processes "
+                f"needing {fds} descriptors ({per_process}/process + "
+                f"{reserved} reserved), over the select() fd limit of "
+                f"{limit} — the run would fail on real MPICH-V hardware",
+            )
+        max_processes = record.get("max_processes")
+        if max_processes is not None and n_ranks > max_processes:
+            self.violation(
+                record.time,
+                f"{record.get('launcher')} admitted {n_ranks} processes past "
+                f"its modeled maximum of {max_processes}",
+            )
+
+
+def all_monitors() -> list:
+    """Fresh instances of all six shipped monitors."""
+    return [
+        MonotoneClockMonitor(),
+        FifoDeliveryMonitor(),
+        VclNoOrphanMonitor(),
+        VclLoggingMonitor(),
+        PclFlushMonitor(),
+        FdBudgetMonitor(),
+    ]

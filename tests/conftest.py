@@ -1,0 +1,37 @@
+"""Suite-wide fixtures: every test runs under the online invariant monitors.
+
+The ``monitored_engine`` autouse fixture patches ``Simulator`` so each
+simulator any test constructs gets the full :mod:`repro.verify` monitor set
+attached, raising :class:`~repro.verify.InvariantViolation` at the first
+protocol-invariant breach; end-of-run completeness checks fire at teardown.
+Mark a test ``@pytest.mark.unmonitored`` to opt out (tests that break the
+protocols on purpose attach their own bus and assert the violation).
+"""
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.verify import MonitorBus, all_monitors
+
+
+@pytest.fixture(autouse=True)
+def monitored_engine(request, monkeypatch):
+    """All six protocol-invariant monitors, on for every simulator."""
+    if request.node.get_closest_marker("unmonitored"):
+        yield []
+        return
+    buses = []
+    unpatched = Simulator.__init__
+
+    def monitored_init(self, *args, **kwargs):
+        unpatched(self, *args, **kwargs)
+        bus = MonitorBus(all_monitors(), raise_on_violation=True)
+        bus.attach(self)
+        buses.append(bus)
+
+    monkeypatch.setattr(Simulator, "__init__", monitored_init)
+    yield buses
+    # End-of-stream completeness checks (e.g. every logged message replayed)
+    # raise here if the run ended in a state no correct protocol can reach.
+    for bus in buses:
+        bus.finish()

@@ -1,0 +1,52 @@
+"""The dispatcher's select() wall, probed exactly at the boundary.
+
+Paper Sec. 5.4: 3 sockets per MPI process plus the dispatcher's own
+descriptors, multiplexed with select() (fd set capped at 1024) — which
+"precludes tests with more than 300 processes".  The modeled maximum is
+(1024 - 16) // 3 = 336: validation must admit 336 ranks and reject 337
+with the modeled error, not an off-by-one in either direction.
+"""
+
+import pytest
+
+from repro.runtime import Dispatcher, ScaleLimitError
+from repro.runtime.dispatcher import (
+    RESERVED_FDS,
+    SELECT_FD_LIMIT,
+    SOCKETS_PER_PROCESS,
+)
+
+
+def test_modeled_maximum_is_336():
+    dispatcher = Dispatcher()
+    assert dispatcher.max_processes() == (1024 - 16) // 3 == 336
+    # consistency with the constants the fd-budget monitor consumes
+    budget = dispatcher.fd_budget()
+    assert budget == {
+        "fd_limit": SELECT_FD_LIMIT,
+        "sockets_per_process": SOCKETS_PER_PROCESS,
+        "reserved_fds": RESERVED_FDS,
+        "max_processes": 336,
+    }
+
+
+def test_validate_admits_the_largest_fitting_count():
+    dispatcher = Dispatcher()
+    dispatcher.validate(336)  # fills the budget exactly: 16 + 336*3 = 1024
+    assert RESERVED_FDS + 336 * SOCKETS_PER_PROCESS <= SELECT_FD_LIMIT
+
+
+def test_validate_rejects_one_past_the_budget():
+    dispatcher = Dispatcher()
+    with pytest.raises(ScaleLimitError) as err:
+        dispatcher.validate(337)
+    message = str(err.value)
+    assert "337 processes" in message
+    assert "select()" in message
+
+
+def test_enforcement_knob_lets_oversubscription_through():
+    """The repro.verify break knob: with enforcement off, validate() passes
+    and catching the oversubscription becomes the fd-budget monitor's job
+    (see tests/verify/test_deliberate_breaks.py)."""
+    Dispatcher(enforce_fd_limit=False).validate(337)

@@ -1,0 +1,108 @@
+"""Break a protocol on purpose; the online monitors must catch it.
+
+These are the end-to-end proofs that the monitors watch the real event
+stream rather than vacuously passing: each test flips one documented
+test-only knob that removes a correctness mechanism, runs an otherwise
+normal simulation, and asserts the matching monitor raises a precise
+:class:`~repro.verify.InvariantViolation`.
+"""
+
+import pytest
+
+from repro.ft import PclProtocol, VclProtocol
+from repro.mpi import FtSockChannel, NemesisChannel
+from repro.net import ClusterNetwork
+from repro.net.topology import Endpoint
+from repro.ft.recovery import FTRun
+from repro.runtime import Dispatcher
+from repro.sim import Simulator
+from repro.verify import InvariantViolation, MonitorBus, all_monitors
+
+from tests.ft.conftest import build_ft_run, ring_app_factory
+from tests.ft.test_vcl_replay_order import seq_stream_app
+
+pytestmark = pytest.mark.unmonitored  # each test attaches its own bus
+
+
+def attach_monitors(sim):
+    bus = MonitorBus(all_monitors(), raise_on_violation=True)
+    bus.attach(sim)
+    return bus
+
+
+def test_pcl_without_channel_gating_is_caught(monkeypatch):
+    """Remove the send gates / Nemesis stopper: payload crosses the channel
+    while the rank checkpoints, which is exactly the pcl-flush invariant."""
+    monkeypatch.setattr(PclProtocol, "channel_gating_enabled", False)
+    sim = Simulator(seed=7)
+    attach_monitors(sim)
+    run, _ = build_ft_run(sim, ring_app_factory(iters=30, work=0.05), size=3,
+                          protocol="pcl", period=0.4)
+    run.start()
+    with pytest.raises(InvariantViolation) as err:
+        sim.run_until_complete(run.completed, limit=1e5)
+    assert err.value.monitor == "pcl-flush"
+    assert "while checkpointing" in err.value.message
+    assert err.value.window  # the violation carries its event context
+
+
+def test_pcl_nemesis_without_gating_is_caught(monkeypatch):
+    """Same break on the Nemesis channel (stopper-based flush)."""
+    monkeypatch.setattr(PclProtocol, "channel_gating_enabled", False)
+    sim = Simulator(seed=7)
+    attach_monitors(sim)
+    run, _ = build_ft_run(sim, ring_app_factory(iters=30, work=0.05), size=3,
+                          protocol="pcl", channel_cls=NemesisChannel,
+                          period=0.4)
+    run.start()
+    with pytest.raises(InvariantViolation) as err:
+        sim.run_until_complete(run.completed, limit=1e5)
+    assert err.value.monitor == "pcl-flush"
+
+
+def test_vcl_without_message_logging_is_caught(monkeypatch):
+    """Disable the daemon's in-transit logging under streaming traffic: a
+    message crosses the Chandy–Lamport cut with no logged copy."""
+    monkeypatch.setattr(VclProtocol, "logging_enabled", False)
+    sim = Simulator(seed=31)
+    attach_monitors(sim)
+    run, _ = build_ft_run(sim, seq_stream_app(n_msgs=60, nbytes=800_000,
+                                              work=0.01),
+                          size=2, protocol="vcl", period=0.12,
+                          image_bytes=1e6, fork_latency=0.005)
+    run.start()
+    with pytest.raises(InvariantViolation) as err:
+        sim.run_until_complete(run.completed, limit=1e5)
+    assert err.value.monitor == "vcl-logging"
+    assert "not logged" in err.value.message
+
+
+def test_oversubscribed_dispatcher_is_caught():
+    """With fd-limit enforcement off, a 337-process launch must be flagged
+    by the fd-budget monitor at the runtime.validated record."""
+    n_ranks = Dispatcher().max_processes() + 1  # 337
+    sim = Simulator(seed=7)
+    attach_monitors(sim)
+    net = ClusterNetwork(sim, n_nodes=n_ranks)
+    endpoints = [Endpoint(node, 0) for node in net.nodes]
+    run = FTRun(sim, net, endpoints, ring_app_factory(iters=1), FtSockChannel,
+                None, [], launcher=Dispatcher(enforce_fd_limit=False))
+    with pytest.raises(InvariantViolation) as err:
+        run.start()
+    assert err.value.monitor == "fd-budget"
+    assert "select() fd limit of 1024" in err.value.message
+
+
+def test_unbroken_runs_stay_clean():
+    """Control: the same scenarios with the knobs untouched are monitor-clean
+    and every monitor actually inspected events."""
+    sim = Simulator(seed=7)
+    bus = attach_monitors(sim)
+    run, _ = build_ft_run(sim, ring_app_factory(iters=30, work=0.05), size=3,
+                          protocol="pcl", period=0.4)
+    run.start()
+    sim.run_until_complete(run.completed, limit=1e5)
+    assert bus.finish() == []
+    verdicts = bus.verdicts()
+    for name in ("monotone-clock", "fifo-delivery", "pcl-flush"):
+        assert verdicts[name]["ok"] and verdicts[name]["checked"] > 0
