@@ -1,0 +1,57 @@
+"""Declarative fault-injection campaigns over the checkpointing harness.
+
+The chaos subsystem turns the one-off failure experiments of
+:mod:`repro.ft` into a swept, self-judging campaign: a
+:class:`~repro.chaos.spec.CampaignSpec` enumerates scenarios (protocol ×
+channel × processes-per-node × kill kind × kill time × seed), the runner
+executes each through :func:`repro.harness.runner.execute` with the engine
+:class:`~repro.sim.Watchdog` armed and all :mod:`repro.verify` monitors
+riding along, and every run is classified into a verdict:
+
+``completed``
+    Ran to the end with the correct result and no failure injected (or the
+    kill landed after completion).
+``recovered``
+    A failure was injected, at least one rollback/restart happened, and the
+    final result is still correct.
+``wrong-result``
+    The run finished but the application state is wrong or an invariant
+    monitor flagged the run.
+``deadlock`` / ``livelock`` / ``hang``
+    The run never finished: the event heap drained, the watchdog caught a
+    zero-time cascade, or the simulated-time budget ran out.
+``crash``
+    The simulation itself raised.
+
+Only ``completed`` and ``recovered`` are acceptable; anything else fails
+the campaign (exit status 1 from the CLI).
+
+Run the standard smoke campaign::
+
+    python -m repro.chaos --smoke --out results/chaos
+
+See ``docs/CHAOS.md`` for the full knob reference.
+"""
+
+from repro.chaos.report import CampaignResult, write_report
+from repro.chaos.runner import (
+    BAD_VERDICTS,
+    OK_VERDICTS,
+    ScenarioResult,
+    run_campaign,
+    run_scenario,
+)
+from repro.chaos.spec import CampaignSpec, Scenario, smoke_campaign
+
+__all__ = [
+    "BAD_VERDICTS",
+    "CampaignResult",
+    "CampaignSpec",
+    "OK_VERDICTS",
+    "Scenario",
+    "ScenarioResult",
+    "run_campaign",
+    "run_scenario",
+    "smoke_campaign",
+    "write_report",
+]

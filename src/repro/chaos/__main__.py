@@ -1,0 +1,85 @@
+"""Chaos campaign CLI.
+
+Standard CI smoke sweep (24 scenarios, exits 1 on any bad verdict)::
+
+    python -m repro.chaos --smoke --out results/chaos
+
+``--list`` prints the scenario labels without running anything;
+``--filter`` restricts the campaign to labels containing a substring.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.chaos.report import write_report
+from repro.chaos.runner import run_campaign
+from repro.chaos.spec import smoke_campaign
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.chaos",
+        description="Fault-injection campaigns over the checkpointing "
+                    "harness (verdicts: completed/recovered pass; "
+                    "wrong-result/deadlock/livelock/hang/crash fail).",
+    )
+    parser.add_argument("--smoke", action="store_true",
+                        help="run the standard 24-scenario smoke campaign "
+                             "(the default when no campaign is selected)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="root seed for every scenario (default 0)")
+    parser.add_argument("--out", default="results/chaos",
+                        help="directory for the JSON + markdown report "
+                             "(default results/chaos)")
+    parser.add_argument("--filter", default=None, metavar="SUBSTR",
+                        help="only run scenarios whose label contains this")
+    parser.add_argument("--list", action="store_true",
+                        help="print scenario labels and exit")
+    parser.add_argument("--no-monitors", action="store_true",
+                        help="skip the online invariant monitors "
+                             "(faster, weaker wrong-result detection)")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    campaign = smoke_campaign(seed=args.seed)  # --smoke is also the default
+    if args.filter:
+        campaign = campaign.filtered(args.filter)
+    if args.list:
+        for scenario in campaign:
+            print(scenario.label)
+        return 0
+    if not len(campaign):
+        print("no scenarios selected", file=sys.stderr)
+        return 2
+
+    started = time.monotonic()
+
+    def progress(result):
+        mark = "ok " if result.ok else "BAD"
+        print(f"  [{mark}] {result.scenario.label}: {result.verdict}"
+              + (f" ({result.detail})" if result.detail else ""))
+
+    print(f"chaos campaign {campaign.name!r}: {len(campaign)} scenarios")
+    outcome = run_campaign(campaign, monitors=not args.no_monitors,
+                           progress=progress)
+    json_path, md_path = write_report(outcome, args.out)
+    elapsed = time.monotonic() - started
+    counts = ", ".join(f"{v}={n}" for v, n in outcome.counts().items())
+    print(f"done in {elapsed:.1f}s: {counts}")
+    print(f"report: {json_path} / {md_path}")
+    if not outcome.ok:
+        for failure in outcome.failures():
+            print(f"FAILED {failure.scenario.label}: {failure.verdict} "
+                  f"{failure.detail}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

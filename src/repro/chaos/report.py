@@ -1,0 +1,88 @@
+"""Campaign results: aggregation, JSON artifact, markdown table."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+__all__ = ["CampaignResult", "write_report"]
+
+
+@dataclass
+class CampaignResult:
+    """All scenario results of one campaign run."""
+
+    name: str
+    results: List["ScenarioResult"] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(result.ok for result in self.results)
+
+    def counts(self) -> Dict[str, int]:
+        """Verdict histogram, sorted by verdict name."""
+        counts: Dict[str, int] = {}
+        for result in self.results:
+            counts[result.verdict] = counts.get(result.verdict, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def failures(self) -> List["ScenarioResult"]:
+        return [result for result in self.results if not result.ok]
+
+    # ------------------------------------------------------------- artifacts
+    def to_dict(self) -> dict:
+        return {
+            "campaign": self.name,
+            "scenarios": len(self.results),
+            "ok": self.ok,
+            "verdicts": self.counts(),
+            "results": [result.to_dict() for result in self.results],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    def to_markdown(self) -> str:
+        """Campaign summary plus a per-scenario verdict table."""
+        lines = [
+            f"# Chaos campaign: {self.name}",
+            "",
+            f"{len(self.results)} scenarios — "
+            + ("**all passed**" if self.ok
+               else f"**{len(self.failures())} FAILED**"),
+            "",
+            "| verdict | count |",
+            "|---|---|",
+        ]
+        lines.extend(f"| {verdict} | {count} |"
+                     for verdict, count in self.counts().items())
+        lines += [
+            "",
+            "| scenario | verdict | restarts | waves | completion | detail |",
+            "|---|---|---|---|---|---|",
+        ]
+        for result in self.results:
+            completion = ("-" if result.completion is None
+                          else f"{result.completion:.2f}")
+            mark = "" if result.ok else " ⚠"
+            lines.append(
+                f"| {result.scenario.label} | {result.verdict}{mark} "
+                f"| {result.restarts} | {result.waves} | {completion} "
+                f"| {result.detail or '-'} |"
+            )
+        lines.append("")
+        return "\n".join(lines)
+
+
+def write_report(campaign: CampaignResult, out_dir: str) -> Tuple[Path, Path]:
+    """Write ``<name>.json`` and ``<name>.md`` under ``out_dir``; returns
+    both paths (JSON first)."""
+    directory = Path(out_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    json_path = directory / f"{campaign.name}.json"
+    md_path = directory / f"{campaign.name}.md"
+    json_path.write_text(campaign.to_json() + "\n", encoding="utf-8")
+    md_path.write_text(campaign.to_markdown(), encoding="utf-8")
+    return json_path, md_path

@@ -1,0 +1,194 @@
+"""Run scenarios and classify each outcome into a verdict.
+
+The runner is a thin adapter: a :class:`~repro.chaos.spec.Scenario` becomes
+one :func:`repro.harness.runner.execute` call with the engine
+:class:`~repro.sim.Watchdog` armed and kills scheduled, and whatever comes
+back — completion, a wrong answer, a monitor violation, or one of the
+engine's stall exceptions — is mapped onto the verdict taxonomy (see
+:mod:`repro.chaos`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional
+
+from repro.apps import BENCHMARKS
+from repro.chaos.report import CampaignResult
+from repro.chaos.spec import CampaignSpec, Scenario
+from repro.harness.config import SMOKE
+from repro.harness.runner import _monitor_verdicts, execute
+from repro.sim import DeadlockError, LivelockError, TimeLimitError
+from repro.verify import InvariantViolation
+
+__all__ = [
+    "OK_VERDICTS",
+    "BAD_VERDICTS",
+    "ScenarioResult",
+    "run_scenario",
+    "run_campaign",
+]
+
+#: verdicts that pass a campaign
+OK_VERDICTS = frozenset({"completed", "recovered"})
+#: verdicts that fail a campaign
+BAD_VERDICTS = frozenset({"wrong-result", "deadlock", "livelock", "hang",
+                          "crash"})
+
+
+@dataclass
+class ScenarioResult:
+    """One scenario's verdict plus the evidence behind it."""
+
+    scenario: Scenario
+    verdict: str
+    #: human-readable justification (exception text, wrong-state diff, ...)
+    detail: str = ""
+    #: simulated completion time (None when the run never finished)
+    completion: Optional[float] = None
+    waves: int = 0
+    restarts: int = 0
+    #: online invariant monitors verdict (None when the run never finished
+    #: or monitors were off)
+    monitors_ok: Optional[bool] = None
+    #: final per-rank application state (empty when unavailable)
+    app_state: List[dict] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.verdict in OK_VERDICTS
+
+    def to_dict(self) -> dict:
+        return {
+            "scenario": self.scenario.to_dict(),
+            "label": self.scenario.label,
+            "verdict": self.verdict,
+            "ok": self.ok,
+            "detail": self.detail,
+            "completion": self.completion,
+            "waves": self.waves,
+            "restarts": self.restarts,
+            "monitors_ok": self.monitors_ok,
+        }
+
+
+def _expected_state(scenario: Scenario, bench) -> Dict[str, float]:
+    """What every rank's final context state must hold for a correct run.
+
+    The NAS skeletons advance ``iteration`` once per timestep and finish
+    with a verification allreduce whose result (each rank contributing 1)
+    is the job size — a rolled-back-but-unreplayed run shows up as a short
+    iteration count, a corrupted reduction as a wrong norm.
+    """
+    return {"iteration": bench.iterations(), "norm": float(scenario.n_procs)}
+
+
+def _check_result(scenario: Scenario, bench, result) -> Optional[str]:
+    """Return a wrong-result explanation, or None when the run is correct."""
+    expected = _expected_state(scenario, bench)
+    for rank, state in enumerate(result.meta.get("app_state", [])):
+        for key, want in expected.items():
+            got = state.get(key)
+            if got != want:
+                return (f"rank {rank} finished with {key}={got!r}, "
+                        f"expected {want!r}")
+    if result.monitors_ok is False:
+        monitors = result.meta.get("monitors", {}).get("verdicts", {})
+        broken = sorted(name for name, v in monitors.items() if not v["ok"])
+        return f"invariant monitor violation: {', '.join(broken)}"
+    return None
+
+
+def run_scenario(
+    scenario: Scenario,
+    time_limit: Optional[float] = None,
+    time_limit_factor: float = 8.0,
+    monitors: bool = True,
+) -> ScenarioResult:
+    """Execute one scenario and judge it.
+
+    ``time_limit`` caps the *simulated* time; by default it is
+    ``time_limit_factor`` times the benchmark's failure-free expected time,
+    so a run that stops making progress is classified as ``hang`` instead
+    of spinning the heap forever (zero-time spins are caught earlier and
+    more precisely by the armed watchdog as ``livelock``).
+    """
+    bench = BENCHMARKS[scenario.bench](klass=scenario.klass,
+                                       scale=scenario.scale)
+    profile = replace(SMOKE, time_scale=scenario.scale, seed=scenario.seed)
+    if time_limit is None:
+        time_limit = time_limit_factor * bench.expected_time(scenario.n_procs)
+    kills = ([(scenario.kill, scenario.victim, scenario.kill_time)]
+             if scenario.kill is not None else [])
+    try:
+        result = execute(
+            bench,
+            scenario.n_procs,
+            scenario.protocol,
+            profile,
+            network=scenario.network,
+            channel=scenario.channel,
+            n_servers=scenario.n_servers,
+            period=scenario.period,
+            procs_per_node=scenario.procs_per_node,
+            seed=scenario.seed,
+            time_limit=time_limit,
+            name=scenario.label,
+            monitors=monitors,
+            kills=kills,
+            watchdog=True,
+        )
+    except LivelockError as error:
+        return ScenarioResult(scenario, "livelock",
+                              detail=str(error).splitlines()[0])
+    except DeadlockError as error:
+        return ScenarioResult(scenario, "deadlock", detail=str(error))
+    except TimeLimitError as error:
+        return ScenarioResult(scenario, "hang", detail=str(error))
+    except InvariantViolation as error:
+        # Only reachable when a raising MonitorBus is attached externally
+        # (e.g. the test suite's autouse fixture); harness buses collect.
+        return ScenarioResult(scenario, "wrong-result",
+                              detail=str(error).splitlines()[0])
+    except Exception as error:  # noqa: BLE001 - any crash is a verdict
+        return ScenarioResult(scenario, "crash",
+                              detail=f"{type(error).__name__}: {error}")
+    finally:
+        # The monitor verdict reaches the caller through the ScenarioResult;
+        # don't leave a copy in the harness' figure-oriented accumulator
+        # (drained by figure wrappers, not by chaos campaigns).
+        _monitor_verdicts.pop(scenario.label, None)
+    wrong = _check_result(scenario, bench, result)
+    if wrong is not None:
+        verdict, detail = "wrong-result", wrong
+    elif result.stats.restarts > 0:
+        verdict, detail = "recovered", (
+            f"{result.stats.failures} failure(s), "
+            f"{result.stats.restarts} restart(s)")
+    else:
+        verdict, detail = "completed", ""
+    return ScenarioResult(
+        scenario, verdict, detail=detail,
+        completion=result.completion,
+        waves=result.waves,
+        restarts=result.stats.restarts,
+        monitors_ok=result.monitors_ok,
+        app_state=result.meta.get("app_state", []),
+    )
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    monitors: bool = True,
+    progress: Optional[Callable[[ScenarioResult], None]] = None,
+) -> CampaignResult:
+    """Run every scenario of ``spec`` in order; never raises per-scenario
+    (failures become verdicts).  ``progress`` is called after each run."""
+    results = []
+    for scenario in spec:
+        result = run_scenario(scenario, monitors=monitors,
+                              time_limit_factor=spec.time_limit_factor)
+        results.append(result)
+        if progress is not None:
+            progress(result)
+    return CampaignResult(name=spec.name, results=results)

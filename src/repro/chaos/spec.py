@@ -1,0 +1,158 @@
+"""Scenario and campaign specifications.
+
+A :class:`Scenario` is one fully-determined run: which protocol and channel,
+how the ranks are packed onto nodes, what failure is injected and when, and
+the seed.  Everything is a plain value so scenarios round-trip through JSON
+and two runs of the same scenario are byte-identical (the determinism
+contract of :mod:`repro.sim`).
+
+Times follow the harness conventions: ``period`` is in *paper* seconds
+(scaled by the profile's ``time_scale``, like
+:func:`repro.harness.runner.execute`), while ``kill_time`` is in *simulated*
+seconds — a kill targets a point on the run's actual timeline, e.g. inside a
+specific checkpoint wave.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import asdict, dataclass, field
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+__all__ = ["Scenario", "CampaignSpec", "smoke_campaign", "KILL_KINDS"]
+
+#: valid failure kinds; None in a scenario means "no failure injected"
+KILL_KINDS = ("task", "node")
+
+#: the paper's channel(s) for each protocol implementation (see
+#: :func:`repro.harness.runner.default_channel`; Nemesis is the MPICH2
+#: shared-memory/Myrinet device, the procs_per_node=2 regime of Fig. 7)
+PROTOCOL_CHANNELS = (
+    ("pcl", "ft_sock"),
+    ("pcl", "nemesis"),
+    ("vcl", "ch_v"),
+)
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One fault-injection run, fully determined by its fields."""
+
+    protocol: str
+    channel: str
+    procs_per_node: int = 1
+    #: "task" (kill one MPI process), "node" (kill its machine), or None
+    kill: Optional[str] = None
+    #: rank whose task/node is killed
+    victim: int = 0
+    #: simulated seconds at which the kill fires
+    kill_time: float = 0.0
+    seed: int = 0
+    n_procs: int = 4
+    #: checkpoint period in paper seconds (profile-scaled at run time)
+    period: float = 30.0
+    bench: str = "bt"
+    klass: str = "B"
+    scale: float = 0.05
+    network: str = "gige"
+    n_servers: int = 1
+
+    def __post_init__(self) -> None:
+        if self.kill is not None and self.kill not in KILL_KINDS:
+            raise ValueError(f"unknown kill kind {self.kill!r} "
+                             f"(expected one of {KILL_KINDS} or None)")
+        if self.kill is not None and not 0 <= self.victim < self.n_procs:
+            raise ValueError(f"victim rank {self.victim} outside job of "
+                             f"{self.n_procs} processes")
+        if self.kill is not None and self.kill_time < 0:
+            raise ValueError("kill_time must be >= 0")
+
+    @property
+    def label(self) -> str:
+        """Stable human-readable identifier, unique within a campaign."""
+        if self.kill is None:
+            fault = "nokill"
+        else:
+            fault = f"{self.kill}-r{self.victim}@{self.kill_time:g}"
+        return (f"{self.protocol}-{self.channel}-ppn{self.procs_per_node}"
+                f"-{fault}-s{self.seed}")
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Scenario":
+        return cls(**data)
+
+
+@dataclass
+class CampaignSpec:
+    """A named, ordered collection of scenarios plus run-time policy."""
+
+    scenarios: List[Scenario] = field(default_factory=list)
+    name: str = "campaign"
+    #: simulated-time budget per scenario, as a multiple of the benchmark's
+    #: failure-free expected time (recovery replays lost work, so > 2)
+    time_limit_factor: float = 8.0
+
+    def __iter__(self) -> Iterator[Scenario]:
+        return iter(self.scenarios)
+
+    def __len__(self) -> int:
+        return len(self.scenarios)
+
+    def filtered(self, substring: str) -> "CampaignSpec":
+        """Sub-campaign of the scenarios whose label contains ``substring``."""
+        return CampaignSpec(
+            scenarios=[s for s in self.scenarios if substring in s.label],
+            name=self.name,
+            time_limit_factor=self.time_limit_factor,
+        )
+
+    @classmethod
+    def grid(
+        cls,
+        combos: Sequence[Tuple[str, str]] = PROTOCOL_CHANNELS,
+        procs_per_node: Iterable[int] = (1, 2),
+        kills: Iterable[Optional[str]] = KILL_KINDS,
+        kill_times: Iterable[float] = (1.7,),
+        victims: Iterable[int] = (1,),
+        seeds: Iterable[int] = (0,),
+        name: str = "grid",
+        **scenario_kwargs,
+    ) -> "CampaignSpec":
+        """Cartesian sweep over the given axes.
+
+        ``kills`` may include ``None`` for failure-free control scenarios
+        (those collapse the kill-time/victim axes to a single entry).
+        """
+        scenarios = []
+        for (protocol, channel), ppn, kill, seed in itertools.product(
+                combos, procs_per_node, kills, seeds):
+            fault_axes = (
+                itertools.product(kill_times, victims) if kill is not None
+                else ((0.0, 0),)
+            )
+            for kill_time, victim in fault_axes:
+                scenarios.append(Scenario(
+                    protocol=protocol, channel=channel, procs_per_node=ppn,
+                    kill=kill, victim=victim, kill_time=kill_time, seed=seed,
+                    **scenario_kwargs,
+                ))
+        return cls(scenarios=scenarios, name=name)
+
+
+def smoke_campaign(seed: int = 0) -> CampaignSpec:
+    """The standard CI smoke sweep: 24 scenarios, a few seconds of wall time.
+
+    Covers both protocols, all three paper channels, 1 and 2 processes per
+    node, task and node kills, and both kill phases — inside the first
+    checkpoint wave (t=1.7: wave 1 spans ~1.5–2.1 at the smoke scale) and
+    between waves (t=2.8: after wave 1 commits, before wave 2 starts at
+    ~3.6).  3 combos × 2 ppn × 2 kill kinds × 2 kill times = 24.
+    """
+    return CampaignSpec.grid(
+        kill_times=(1.7, 2.8),
+        seeds=(seed,),
+        name="smoke",
+    )

@@ -161,10 +161,9 @@ class PclProtocol(BaseProtocol):
 
     def __init__(self, *args, **kwargs) -> None:
         super().__init__(*args, **kwargs)
+        # wave-in-progress bookkeeping (_current_wave, _wave_committed)
+        # lives in BaseProtocol so detach() can record aborted waves
         self._done_from: Set[int] = set()
-        self._current_wave = 0
-        self._wave_started_at = 0.0
-        self._wave_committed: Optional["Event"] = None
 
     def install(self) -> None:
         self.endpoints = [PclEndpoint(self, rank) for rank in range(self.job.size)]

@@ -198,6 +198,12 @@ class BaseProtocol:
         self._connections: List["Connection"] = []
         self._driver: Optional["Process"] = None
         self._wave_trigger: Optional["Event"] = None
+        # Wave-in-progress bookkeeping shared by both drivers; the pending
+        # ``_wave_committed`` event is what detach() inspects to tell an
+        # aborted wave from a quiescent protocol.
+        self._current_wave = 0
+        self._wave_started_at = 0.0
+        self._wave_committed: Optional["Event"] = None
 
     # ------------------------------------------------------- proactive waves
     def request_wave(self) -> None:
@@ -237,6 +243,16 @@ class BaseProtocol:
         if self.detached:
             return
         self.detached = True
+        if self._wave_committed is not None and not self._wave_committed.triggered:
+            # A wave was in flight when the job died or completed: it will
+            # never commit.  Recording the abort closes the liveness ledger
+            # (every ft.wave_started is matched by ft.wave_completed or
+            # ft.wave_aborted — the wave-liveness monitor checks this).
+            self.sim.trace.record(
+                self.sim.now, "ft.wave_aborted",
+                wave=self._current_wave, protocol=self.protocol_name,
+            )
+            self._wave_committed = None
         if self._driver is not None:
             self._driver.interrupt("protocol detached")
         for endpoint in self.endpoints:

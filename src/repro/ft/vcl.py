@@ -219,10 +219,9 @@ class VclProtocol(BaseProtocol):
         if scheduler_node is None:
             raise ValueError("VclProtocol needs a scheduler_node")
         self.scheduler = VclScheduler(self, scheduler_node)
+        # wave-in-progress bookkeeping (_current_wave, _wave_committed)
+        # lives in BaseProtocol so detach() can record aborted waves
         self._acks_from: Set[int] = set()
-        self._current_wave = 0
-        self._wave_started_at = 0.0
-        self._wave_committed: Optional["Event"] = None
 
     def install(self) -> None:
         self.endpoints = [VclEndpoint(self, rank) for rank in range(self.job.size)]

@@ -8,13 +8,13 @@ every figure measures the same way.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, Optional, Sequence, Tuple, Union
 
 from repro.apps.base import NASBenchmark
 from repro.ft.protocol import FTStats
 from repro.harness.config import Profile
 from repro.runtime import DeploymentSpec, build_run
-from repro.sim import Simulator
+from repro.sim import Simulator, Watchdog
 from repro.verify import MonitorBus, all_monitors
 
 __all__ = ["RunResult", "execute", "default_channel", "drain_monitor_verdicts"]
@@ -95,6 +95,8 @@ def execute(
     time_limit: float = 1e8,
     name: str = "exp",
     monitors: bool = True,
+    kills: Sequence[Tuple[str, int, float]] = (),
+    watchdog: Union[bool, Watchdog] = True,
 ) -> RunResult:
     """Deploy and run one configuration to completion.
 
@@ -105,10 +107,25 @@ def execute(
     :mod:`repro.verify` rides along and its verdicts land in
     ``RunResult.meta["monitors"]`` — violations are collected rather than
     raised so a broken run still yields a diagnosable result row.
+
+    ``kills`` injects failures: ``("task" | "node", rank, at)`` triples,
+    with ``at`` in *simulated* seconds (failure injection targets a point
+    on the run's timeline, e.g. inside a specific checkpoint wave, so it is
+    deliberately not profile-scaled).  Requires a fault-tolerance protocol.
+
+    ``watchdog`` arms the engine progress watchdog — pass False to run
+    bare, or a configured :class:`~repro.sim.Watchdog` to tune thresholds.
+    A livelock raises :class:`~repro.sim.LivelockError` out of this call
+    instead of hanging the process.
     """
     bench.validate_procs(n_procs)
     channel = channel or default_channel(protocol, network)
-    sim = Simulator(seed=profile.seed if seed is None else seed)
+    if watchdog is True:
+        watchdog = Watchdog()
+    elif watchdog is False:
+        watchdog = None
+    sim = Simulator(seed=profile.seed if seed is None else seed,
+                    watchdog=watchdog)
     bus = None
     if monitors:
         bus = MonitorBus(all_monitors(), raise_on_violation=False)
@@ -127,9 +144,22 @@ def execute(
     )
     run = build_run(sim, spec, bench.make_app(n_procs), name=name)
     run.start()
+    for kind, rank, at in kills:
+        if kind == "task":
+            run.schedule_task_kill(rank, at)
+        elif kind == "node":
+            run.schedule_node_kill(rank, at)
+        else:
+            raise ValueError(f"unknown kill kind {kind!r} (task or node)")
     completion = sim.run_until_complete(run.completed, limit=time_limit)
     meta = {"network": network, "n_servers": n_servers,
             "profile": profile.name, "bench": bench.describe(n_procs)}
+    # Final per-rank application state, for result-correctness checks (the
+    # chaos campaign's wrong-result verdict compares this to the benchmark's
+    # expected iteration count and residual).
+    meta["app_state"] = [dict(ctx.state) for ctx in run.job.contexts]
+    if kills:
+        meta["kills"] = [list(k) for k in kills]
     if bus is not None:
         bus.finish()
         bus.detach()

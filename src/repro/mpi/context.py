@@ -246,9 +246,18 @@ class RankContext:
             return Request(self, sent, "send")
 
         def _pusher():
-            slow_sent = yield from self.channel.post_send(dst, tag, data, nbytes)
-            self._commit(op_id)
-            yield slow_sent
+            try:
+                slow_sent = yield from self.channel.post_send(dst, tag, data, nbytes)
+                self._commit(op_id)
+                yield slow_sent
+            except ConnectionError:
+                # The pipe broke mid-send (peer death).  A blocking send
+                # surfaces this in the app generator, which the job parks;
+                # the pusher has no waiter to throw into, so report the
+                # closure the way channel receivers do and let recovery
+                # roll the op back.
+                if not self.channel.down:
+                    self.channel.job.notify_socket_closed(self.rank, dst)
 
         proc = self.sim.process(_pusher(), name=f"isend:r{self.rank}->r{dst}")
         return Request(self, proc, "send")

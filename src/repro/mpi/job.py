@@ -102,7 +102,16 @@ class MPIJob:
             for b in range(a + 1, self.size):
                 if self.killed:
                     return
-                yield from self.establish(a, b)
+                try:
+                    yield from self.establish(a, b)
+                except ConnectionError:
+                    # The job died under the mesh builder (e.g. a failure in
+                    # the very first instants of the run).  establish() has
+                    # already failed the link event to wake queued ranks;
+                    # the teardown/recovery machinery owns the rest.
+                    if self.killed:
+                        return
+                    raise
 
     def _app_wrapper(self, rank: int, delay: float):
         if delay > 0.0:

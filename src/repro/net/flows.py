@@ -19,6 +19,7 @@ a flow is O(1) and stale timers are simply ignored.
 
 from __future__ import annotations
 
+import math
 import operator
 from typing import Iterable, List, Optional, Sequence, Set
 
@@ -169,6 +170,15 @@ class FlowScheduler:
         if flow.rate <= 0.0:  # pragma: no cover - capacities are positive
             return
         remaining = max(flow.bytes_remaining, 0.0) / flow.rate
+        now = self.sim.now
+        if now + remaining <= now:
+            # The residual transfer time is below the clock's float
+            # resolution (at t~73 one ulp is ~1.4e-14 s): scheduling it
+            # verbatim would fire the timer at the *same* timestamp, settle
+            # zero elapsed time, make no progress and reschedule forever —
+            # the Pcl procs_per_node=2 livelock.  Round the delay up to one
+            # ulp so the clock advances and the settle drains the residue.
+            remaining = math.nextafter(now, math.inf) - now
         self.sim.call_at(remaining, self._on_timer, flow, generation)
 
     def _on_timer(self, flow: Flow, generation: int) -> None:

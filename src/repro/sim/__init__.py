@@ -18,7 +18,14 @@ produces the identical event order.  Ties in time are broken by (priority,
 sequence number), and all randomness flows through :class:`~repro.sim.rng.RngRegistry`.
 """
 
-from repro.sim.engine import Simulator
+from repro.sim.engine import (
+    DeadlockError,
+    LivelockError,
+    SimulationError,
+    Simulator,
+    TimeLimitError,
+    Watchdog,
+)
 from repro.sim.events import (
     AllOf,
     AnyOf,
@@ -35,14 +42,19 @@ __all__ = [
     "AllOf",
     "AnyOf",
     "Condition",
+    "DeadlockError",
+    "LivelockError",
     "Event",
     "Interrupt",
     "Process",
     "Resource",
     "RngRegistry",
+    "SimulationError",
     "Simulator",
     "Store",
+    "TimeLimitError",
     "Timeout",
+    "Watchdog",
     "TraceRecord",
     "Tracer",
 ]

@@ -4,11 +4,18 @@
 ``(time, priority, sequence, event)`` tuples; the monotonically increasing
 sequence number makes the order a deterministic total order, which is the
 backbone of the reproducibility guarantees the benchmark harness relies on.
+
+The optional :class:`Watchdog` turns the two ways a discrete-event program
+can stall — a zero-time event cascade that never advances the clock, and a
+wall-clock stall at one simulated instant — into a :class:`LivelockError`
+that carries the repeating event cycle and the processes waiting on the
+heap, so a stuck run is a diagnosable artifact instead of a hung pytest.
 """
 
 from __future__ import annotations
 
 import heapq
+import time as _wall
 from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
 
 from repro.sim.events import AllOf, AnyOf, Event, Timeout, NORMAL
@@ -16,11 +23,207 @@ from repro.sim.process import Process
 from repro.sim.rng import RngRegistry
 from repro.sim.trace import Tracer
 
-__all__ = ["Simulator", "SimulationError"]
+__all__ = [
+    "Simulator",
+    "SimulationError",
+    "DeadlockError",
+    "TimeLimitError",
+    "LivelockError",
+    "Watchdog",
+    "DEFAULT_MAX_SAME_TIME_EVENTS",
+]
+
+#: default zero-time cascade budget before the watchdog trips.  Legitimate
+#: same-timestamp bursts measured across the harness peak in the hundreds
+#: (a 337-process barrier release is ~1.3k pops); real livelocks spin
+#: millions of times, so 100k separates the two by orders of magnitude in
+#: both directions while tripping within a fraction of a second.
+DEFAULT_MAX_SAME_TIME_EVENTS = 100_000
 
 
 class SimulationError(RuntimeError):
     """Raised for misuse of the simulation kernel (e.g. time travel)."""
+
+
+class DeadlockError(SimulationError):
+    """The event heap drained before the awaited event completed."""
+
+
+class TimeLimitError(SimulationError):
+    """The simulated-time limit was reached before the awaited event."""
+
+
+class LivelockError(SimulationError):
+    """The engine is processing events but the clock no longer advances.
+
+    Attributes
+    ----------
+    time:
+        Simulated time at which the cascade is stuck.
+    kind:
+        ``"zero-time-cascade"`` (N pops without the clock moving) or
+        ``"wall-stall"`` (wall-clock seconds elapsed at one instant).
+    cascade_length:
+        Number of same-timestamp pops observed before tripping.
+    cycle:
+        The repeating tail of event descriptions (empty when no exact
+        repetition was found; ``cycle_exact`` tells the difference).
+    waiting:
+        Descriptions of the heap's head events and the processes their
+        callbacks would resume — the "who is stuck" stack.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        time: float,
+        kind: str = "zero-time-cascade",
+        cascade_length: int = 0,
+        cycle: Tuple[str, ...] = (),
+        cycle_exact: bool = False,
+        waiting: Tuple[str, ...] = (),
+    ) -> None:
+        self.time = time
+        self.kind = kind
+        self.cascade_length = cascade_length
+        self.cycle = tuple(cycle)
+        self.cycle_exact = cycle_exact
+        self.waiting = tuple(waiting)
+        lines = [message]
+        if self.cycle:
+            label = ("repeating event cycle" if cycle_exact
+                     else "most recent same-time events (no exact cycle)")
+            lines.append(f"{label} (length {len(self.cycle)}):")
+            lines.extend(f"  {entry}" for entry in self.cycle)
+        if self.waiting:
+            lines.append("event heap head at trip time (who is waiting):")
+            lines.extend(f"  {entry}" for entry in self.waiting)
+        super().__init__("\n".join(lines))
+
+
+class Watchdog:
+    """Engine progress watchdog: detects zero-time cascades and wall stalls.
+
+    Parameters
+    ----------
+    max_same_time_events:
+        Trip after this many consecutive event pops without the simulation
+        clock advancing.  Must comfortably exceed the largest legitimate
+        same-timestamp burst of the workload (see
+        :data:`DEFAULT_MAX_SAME_TIME_EVENTS`).
+    wall_stall_seconds:
+        When set, also trip if this many *wall-clock* seconds pass while
+        the simulated clock sits at one instant.  Off by default: the check
+        reads the host clock, so tripping is timing-dependent (the
+        zero-time cascade detector is fully deterministic).
+    sample_window:
+        Number of event descriptions recorded past the threshold before
+        tripping; the cycle report is extracted from this window.
+    clock:
+        Wall-clock source (injectable for tests); defaults to
+        :func:`time.monotonic`.
+    """
+
+    #: wall-clock checks happen every ``_WALL_CHECK_MASK + 1`` pops
+    _WALL_CHECK_MASK = 0x0FFF
+
+    def __init__(
+        self,
+        max_same_time_events: int = DEFAULT_MAX_SAME_TIME_EVENTS,
+        wall_stall_seconds: Optional[float] = None,
+        sample_window: int = 64,
+        clock: Callable[[], float] = _wall.monotonic,
+    ) -> None:
+        if max_same_time_events < 1:
+            raise ValueError("max_same_time_events must be >= 1")
+        if sample_window < 4:
+            raise ValueError("sample_window must be >= 4")
+        if wall_stall_seconds is not None and wall_stall_seconds <= 0:
+            raise ValueError("wall_stall_seconds must be positive")
+        self.max_same_time_events = max_same_time_events
+        self.wall_stall_seconds = wall_stall_seconds
+        self.sample_window = sample_window
+        self.clock = clock
+        self.reset()
+
+    def reset(self) -> None:
+        """Forget all progress state (e.g. before reusing across runs)."""
+        self._time: Optional[float] = None
+        self._streak = 0
+        self._pops = 0
+        self._samples: List[str] = []
+        self._wall_mark: Optional[float] = None
+        self._advanced = True
+
+    # ------------------------------------------------------------- observing
+    def observe(self, sim: "Simulator", now: float, event: Event) -> None:
+        """Called by :meth:`Simulator.step` once per popped event."""
+        self._pops += 1
+        if now != self._time:
+            self._time = now
+            self._streak = 0
+            self._advanced = True
+            if self._samples:
+                self._samples.clear()
+        else:
+            self._streak += 1
+            if self._streak >= self.max_same_time_events:
+                self._samples.append(event.describe())
+                if len(self._samples) >= self.sample_window:
+                    self._trip_cascade(sim, now)
+        if (self.wall_stall_seconds is not None
+                and not (self._pops & self._WALL_CHECK_MASK)):
+            wall = self.clock()
+            if self._wall_mark is None or self._advanced:
+                self._wall_mark = wall
+                self._advanced = False
+            elif wall - self._wall_mark >= self.wall_stall_seconds:
+                self._trip_wall(sim, now, wall - self._wall_mark)
+
+    # -------------------------------------------------------------- tripping
+    def _trip_cascade(self, sim: "Simulator", now: float) -> None:
+        cycle, exact = self._detect_cycle(self._samples)
+        raise LivelockError(
+            f"livelock: {self._streak + 1} events processed at "
+            f"t={now!r} without the simulation clock advancing "
+            f"(threshold {self.max_same_time_events})",
+            time=now,
+            kind="zero-time-cascade",
+            cascade_length=self._streak + 1,
+            cycle=cycle,
+            cycle_exact=exact,
+            waiting=self._waiting_report(sim),
+        )
+
+    def _trip_wall(self, sim: "Simulator", now: float, stalled: float) -> None:
+        raise LivelockError(
+            f"livelock: wall clock advanced {stalled:.1f}s while the "
+            f"simulation clock sat at t={now!r} "
+            f"(threshold {self.wall_stall_seconds}s)",
+            time=now,
+            kind="wall-stall",
+            cascade_length=self._streak + 1,
+            cycle=tuple(self._samples[-8:]),
+            cycle_exact=False,
+            waiting=self._waiting_report(sim),
+        )
+
+    @staticmethod
+    def _detect_cycle(samples: List[str]) -> Tuple[Tuple[str, ...], bool]:
+        """Smallest period whose repetition produces the window's tail."""
+        n = len(samples)
+        for period in range(1, n // 2 + 1):
+            if samples[-period:] == samples[-2 * period:-period]:
+                return tuple(samples[-period:]), True
+        return tuple(samples[-min(8, n):]), False
+
+    @staticmethod
+    def _waiting_report(sim: "Simulator", limit: int = 12) -> Tuple[str, ...]:
+        head = heapq.nsmallest(limit, sim._heap)
+        return tuple(
+            f"t={entry_time!r} prio={priority} seq={seq} {event.describe()}"
+            for entry_time, priority, seq, event in head
+        )
 
 
 class Simulator:
@@ -33,20 +236,41 @@ class Simulator:
     trace:
         Optional tracer; when omitted a disabled tracer is installed so call
         sites never need to branch.
+    watchdog:
+        Optional :class:`Watchdog`; when armed, every event pop feeds the
+        progress checks and a stall raises :class:`LivelockError` out of
+        whichever ``run`` variant is driving the loop.
     """
 
-    def __init__(self, seed: int = 0, trace: Optional[Tracer] = None) -> None:
+    def __init__(
+        self,
+        seed: int = 0,
+        trace: Optional[Tracer] = None,
+        watchdog: Optional[Watchdog] = None,
+    ) -> None:
         self._now = 0.0
         self._heap: List[Tuple[float, int, int, Event]] = []
         self._seq = 0
         self.rng = RngRegistry(seed)
         self.trace = trace if trace is not None else Tracer(enabled=False)
+        self._watchdog = watchdog
 
     # ---------------------------------------------------------------- clock
     @property
     def now(self) -> float:
         """Current simulated time in seconds."""
         return self._now
+
+    # ------------------------------------------------------------- watchdog
+    @property
+    def watchdog(self) -> Optional[Watchdog]:
+        """The armed progress watchdog, or None."""
+        return self._watchdog
+
+    def arm_watchdog(self, watchdog: Optional[Watchdog]) -> Optional[Watchdog]:
+        """Install (or, with None, disarm) the progress watchdog."""
+        self._watchdog = watchdog
+        return watchdog
 
     # ------------------------------------------------------------- factories
     def event(self, name: Optional[str] = None) -> Event:
@@ -84,8 +308,13 @@ class Simulator:
         """Run ``callback(*args)`` after ``delay`` seconds.
 
         Returns the underlying timeout event (useful for cancellation by
-        removing the callback).
+        removing the callback).  Unnamed timers take the callback's
+        qualified name so watchdog reports point at the scheduling code.
         """
+        if name is None:
+            target = getattr(callback, "__qualname__", None)
+            if target:
+                name = f"call:{target}"
         event = self.timeout(delay, name=name)
         event.callbacks.append(lambda _ev: callback(*args))
         return event
@@ -109,6 +338,11 @@ class Simulator:
         if time < self._now:  # pragma: no cover - guarded by _push
             raise SimulationError("event heap went backwards in time")
         self._now = time
+        # The watchdog sees the event *before* its callbacks run, while the
+        # waiting processes are still attached — that is what makes the
+        # cycle report name who would have been resumed.
+        if self._watchdog is not None:
+            self._watchdog.observe(self, time, event)
         # Online monitors observe the raw pop order through the tracer's
         # step listeners (repro.verify's total-order invariant); the list is
         # empty unless a monitor asked for it, so the idle cost is one
@@ -138,16 +372,17 @@ class Simulator:
     def run_until_complete(self, event: Event, limit: Optional[float] = None) -> Any:
         """Run until ``event`` is processed; return its value.
 
-        Raises the event's exception if it failed, or :class:`SimulationError`
-        if the heap drains (or ``limit`` is hit) first — i.e. deadlock.
+        Raises the event's exception if it failed, :class:`DeadlockError`
+        if the heap drains first, or :class:`TimeLimitError` when ``limit``
+        is hit (both are :class:`SimulationError` subclasses).
         """
         while not event.processed:
             if not self._heap:
-                raise SimulationError(
+                raise DeadlockError(
                     f"deadlock: event heap drained before {event!r} completed"
                 )
             if limit is not None and self._heap[0][0] > limit:
-                raise SimulationError(
+                raise TimeLimitError(
                     f"time limit {limit!r} reached before {event!r} completed"
                 )
             self.step()

@@ -119,6 +119,29 @@ class Event:
             # Nobody consumed the failure: surface it from run().
             raise self._value
 
+    def describe(self) -> str:
+        """Compact diagnostic label: the event's name (or class) plus the
+        names of whatever its callbacks would resume.
+
+        This is what the engine watchdog samples while a zero-time cascade
+        spins, so it must work on any event without touching its state:
+        bound-method callbacks (``Process._resume``, ``Condition._on_child``)
+        expose their owner via ``__self__`` and the owner's ``name`` labels
+        the waiter.
+        """
+        label = self.name or self.__class__.__name__
+        waiters = []
+        for callback in self.callbacks:
+            owner = getattr(callback, "__self__", None)
+            if owner is None or owner is self:
+                continue
+            owner_name = getattr(owner, "name", None)
+            if owner_name:
+                waiters.append(str(owner_name))
+        if waiters:
+            return f"{label} -> {','.join(waiters)}"
+        return label
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         label = self.name or self.__class__.__name__
         state = ("pending", "triggered", "processed")[self._state]

@@ -80,10 +80,14 @@ class Process(Event):
             # We were the consumer of that event; if it fails later (e.g. a
             # poisoned store getter) nobody is left to observe the failure.
             target.defused = True
-        self._target = None
         wakeup = Event(self.sim, name=f"interrupt:{self.name}")
         wakeup.callbacks.append(self._resume)
         wakeup.fail(Interrupt(cause), priority=URGENT)
+        # The wakeup is now what we are waiting on: a second interrupt in
+        # the same instant (e.g. a node kill followed by the job teardown)
+        # detaches from it above and replaces it, so the generator sees
+        # exactly one Interrupt instead of a throw into a dead generator.
+        self._target = wakeup
 
     # -------------------------------------------------------------- internals
     def _resume(self, event: Event) -> None:

@@ -16,7 +16,10 @@ packet level for every monitored run:
   and the local checkpoint (send gates / Nemesis stopper / delayed
   receives);
 * the MPICH-V dispatcher's 3-sockets-per-process budget never exceeds the
-  1024-descriptor ``select()`` wall.
+  1024-descriptor ``select()`` wall;
+* the engine keeps making progress (no zero-time cascade livelock) and
+  every checkpoint wave that starts either completes or is recorded as
+  aborted (see :mod:`repro.chaos` for the campaign driver built on these).
 
 Attach all monitors to a simulator with::
 
@@ -33,10 +36,12 @@ from repro.verify.base import InvariantViolation, Monitor, MonitorBus
 from repro.verify.monitors import (
     FdBudgetMonitor,
     FifoDeliveryMonitor,
+    LivelockMonitor,
     MonotoneClockMonitor,
     PclFlushMonitor,
     VclLoggingMonitor,
     VclNoOrphanMonitor,
+    WaveLivenessMonitor,
     all_monitors,
 )
 
@@ -50,5 +55,7 @@ __all__ = [
     "VclLoggingMonitor",
     "PclFlushMonitor",
     "FdBudgetMonitor",
+    "LivelockMonitor",
+    "WaveLivenessMonitor",
     "all_monitors",
 ]

@@ -1,4 +1,4 @@
-"""The six shipped invariant monitors.
+"""The shipped invariant monitors.
 
 Provenance of each invariant:
 
@@ -23,12 +23,23 @@ Provenance of each invariant:
 * **fd-budget** — the MPICH-V dispatcher's scalability wall (paper
   Sec. 5.4): 3 sockets per process multiplexed with ``select()``, whose fd
   set caps at 1024.
+* **engine-liveness** — the monitor-side mirror of the engine's
+  :class:`repro.sim.engine.Watchdog`: the simulation must keep advancing
+  its clock; a zero-time event cascade past the watchdog's budget is a
+  livelock (the failure mode behind the historical Pcl
+  ``procs_per_node=2`` hang).
+* **wave-liveness** — every checkpoint wave terminates: each
+  ``ft.wave_started`` record must be matched by ``ft.wave_completed`` or,
+  when the job dies or completes mid-wave, ``ft.wave_aborted``.  A second
+  wave starting while one is open, or a dangling wave at end of run, means
+  the driver's commit plumbing wedged.
 """
 
 from __future__ import annotations
 
 from typing import Dict, Optional, Set, Tuple
 
+from repro.sim.engine import DEFAULT_MAX_SAME_TIME_EVENTS
 from repro.sim.trace import TraceRecord
 from repro.verify.base import Monitor
 
@@ -39,6 +50,8 @@ __all__ = [
     "VclLoggingMonitor",
     "PclFlushMonitor",
     "FdBudgetMonitor",
+    "LivelockMonitor",
+    "WaveLivenessMonitor",
     "all_monitors",
 ]
 
@@ -511,8 +524,109 @@ class FdBudgetMonitor(Monitor):
             )
 
 
+class LivelockMonitor(Monitor):
+    """Engine liveness: the simulation clock must keep advancing.
+
+    The monitor-side twin of :class:`repro.sim.engine.Watchdog`, sharing its
+    :data:`~repro.sim.engine.DEFAULT_MAX_SAME_TIME_EVENTS` budget so the two
+    agree on what counts as a livelock.  The engine watchdog raises
+    :class:`~repro.sim.engine.LivelockError` with the repeating event cycle;
+    this monitor only sees the raw ``(time, priority, seq)`` pop stream, so
+    it reports the cascade length and trip time — enough to flag a run whose
+    watchdog was left disarmed.
+    """
+
+    name = "engine-liveness"
+    categories = ()  # liveness is a property of the pop stream, not records
+    wants_steps = True
+
+    def __init__(self, max_same_time_events: Optional[int] = None) -> None:
+        super().__init__()
+        self.max_same_time_events = (
+            max_same_time_events if max_same_time_events is not None
+            else DEFAULT_MAX_SAME_TIME_EVENTS
+        )
+        self._time: Optional[float] = None
+        self._streak = 0
+        self._tripped = False
+
+    def on_step(self, time: float, priority: int, seq: int) -> None:
+        self.checked += 1
+        if time != self._time:
+            self._time = time
+            self._streak = 0
+            self._tripped = False
+            return
+        self._streak += 1
+        if self._streak >= self.max_same_time_events and not self._tripped:
+            self._tripped = True  # one report per cascade in collect mode
+            self.violation(
+                time,
+                f"livelock: {self._streak + 1} consecutive event pops at "
+                f"t={time!r} without the simulation clock advancing "
+                f"(budget {self.max_same_time_events}) — a zero-time event "
+                "cascade is spinning (arm the engine Watchdog for the "
+                "repeating cycle)",
+            )
+
+
+class WaveLivenessMonitor(Monitor):
+    """Checkpoint waves terminate: started ⇒ completed or aborted.
+
+    Both drivers emit ``ft.wave_started`` when markers go out and
+    ``ft.wave_completed`` when every rank reported in; ``BaseProtocol.detach``
+    emits ``ft.wave_aborted`` when the job dies or completes with a wave
+    still in flight.  The ledger per protocol must therefore never hold two
+    open waves, never complete a wave that was not started, and be empty
+    when the run finishes.
+    """
+
+    name = "wave-liveness"
+    categories = ("ft.wave_started", "ft.wave_completed", "ft.wave_aborted")
+
+    def __init__(self) -> None:
+        super().__init__()
+        #: protocol name -> (open wave number, start time)
+        self._open: Dict[str, Tuple[int, float]] = {}
+
+    def on_record(self, record: TraceRecord) -> None:
+        self.checked += 1
+        protocol = record.get("protocol", "?")
+        wave = record.get("wave", 0)
+        if record.category == "ft.wave_started":
+            stale = self._open.get(protocol)
+            if stale is not None:
+                self.violation(
+                    record.time,
+                    f"{protocol} started wave {wave} while wave {stale[0]} "
+                    f"(started at t={stale[1]}) is still open — the previous "
+                    "wave neither completed nor aborted",
+                )
+            self._open[protocol] = (wave, record.time)
+        else:  # ft.wave_completed / ft.wave_aborted
+            stale = self._open.pop(protocol, None)
+            if stale is None or stale[0] != wave:
+                closing = record.category.rsplit("_", 1)[1]
+                self.violation(
+                    record.time,
+                    f"{protocol} wave {wave} {closing} but the open wave is "
+                    f"{stale[0] if stale else 'none'} — wave ledger out of "
+                    "sync",
+                )
+
+    def finish(self) -> None:
+        for protocol, (wave, started_at) in sorted(self._open.items()):
+            self.violation(
+                started_at,
+                f"{protocol} wave {wave} started at t={started_at} but the "
+                "run finished without ft.wave_completed or ft.wave_aborted — "
+                "the wave hung",
+            )
+        self._open.clear()
+
+
 def all_monitors() -> list:
-    """Fresh instances of all six shipped monitors."""
+    """Fresh instances of every shipped monitor."""
     return [
         MonotoneClockMonitor(),
         FifoDeliveryMonitor(),
@@ -520,4 +634,6 @@ def all_monitors() -> list:
         VclLoggingMonitor(),
         PclFlushMonitor(),
         FdBudgetMonitor(),
+        LivelockMonitor(),
+        WaveLivenessMonitor(),
     ]

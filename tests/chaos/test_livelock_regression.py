@@ -1,0 +1,88 @@
+"""Regression: the historical Pcl procs_per_node=2 livelock stays dead.
+
+The original symptom (ROADMAP): ``DeploymentSpec(n_procs=4, protocol="pcl",
+period=1.5, procs_per_node=2)`` running ``BT(klass="B", scale=0.05)``
+stalled in an infinite same-timestamp event loop around sim t≈65-73.  Root
+cause: when a flow's residual transfer time fell below one float ulp of the
+current time, ``FlowScheduler._schedule_finish`` armed a timer that fired at
+the *same* timestamp, settled zero elapsed seconds, drained no bytes, and
+rescheduled forever.  The fix rounds the delay up to one ulp so the clock
+always advances; these tests pin the exact failing configuration and the
+flow-level mechanism.
+"""
+
+import math
+
+import pytest
+
+from repro.apps import BT
+from repro.net import ClusterNetwork
+from repro.net.flows import FlowScheduler
+from repro.net.link import Link
+from repro.runtime import DeploymentSpec, build_run
+from repro.sim import Simulator, Watchdog
+
+
+def _roadmap_run(channel):
+    """The exact configuration from the ROADMAP open item (watchdog armed:
+    a regression fails as LivelockError instead of hanging pytest)."""
+    sim = Simulator(seed=0, watchdog=Watchdog())
+    bench = BT(klass="B", scale=0.05)
+    spec = DeploymentSpec(
+        n_procs=4,
+        protocol="pcl",
+        channel=channel,
+        period=1.5,
+        procs_per_node=2,
+        image_bytes=bench.image_bytes(4) * 0.05,
+    )
+    run = build_run(sim, spec, bench.make_app(4), name="roadmap")
+    run.start()
+    completion = sim.run_until_complete(run.completed, limit=500.0)
+    return run, completion
+
+
+@pytest.mark.parametrize("channel", ["ft_sock", "nemesis"])
+def test_roadmap_livelock_config_completes(channel):
+    run, completion = _roadmap_run(channel)
+    assert 0.0 < completion < 500.0
+    assert run.stats.waves_completed > 40  # ~45 waves at period 1.5
+    bench = BT(klass="B", scale=0.05)
+    for rank, context in enumerate(run.job.contexts):
+        assert context.state["iteration"] == bench.iterations(), rank
+        assert context.state["norm"] == 4, rank
+
+
+def test_subulp_flow_residue_finishes():
+    """A flow whose finish time falls below the clock's float resolution
+    must still complete (the delay is rounded up to one ulp)."""
+    sim = Simulator()
+    scheduler = FlowScheduler(sim)
+    link = Link("l0", capacity=1e9)
+    # Park the clock at the t≈73 regime of the original livelock, where one
+    # ulp is ~1.4e-14 s, then start a transfer and shave it mid-flight so
+    # the remaining bytes take far less than one ulp of time.
+    sim.run(until=73.04674683093843)
+    flow = scheduler.start([link], 73.0)
+    sim.run(until=sim.now + 50e-9)
+    scheduler._settle(flow, sim.now)
+    flow.bytes_remaining = 3e-6  # > epsilon (1e-6 B), < 1 ulp of transfer
+    scheduler._schedule_finish(flow)
+    sim.run(until=sim.now + 1e-6)
+    assert flow.finished, "sub-ulp residue never finished (livelock regression)"
+    assert flow.done.processed and flow.done.ok
+
+
+def test_schedule_finish_always_advances_clock():
+    """The armed finish timer never lands at the current timestamp."""
+    sim = Simulator()
+    scheduler = FlowScheduler(sim)
+    link = Link("l0", capacity=1e9)
+    sim.run(until=1e6)  # large t: coarse float resolution
+    flow = scheduler.start([link], 1.0)
+    scheduler._settle(flow, sim.now)
+    flow.bytes_remaining = 1e-12  # residual time ~1e-21 s << 1 ulp
+    scheduler._schedule_finish(flow)
+    next_time = sim.peek()
+    assert next_time > sim.now
+    assert next_time >= math.nextafter(sim.now, math.inf)

@@ -1,0 +1,180 @@
+"""Engine progress watchdog: livelocks trip, legitimate bursts do not."""
+
+import pytest
+
+from repro.sim import LivelockError, Simulator, Watchdog
+from repro.sim.engine import DEFAULT_MAX_SAME_TIME_EVENTS
+from repro.verify import InvariantViolation, LivelockMonitor, MonitorBus
+
+
+def _spinner(sim):
+    """A process that reschedules itself at zero delay forever."""
+
+    def spin():
+        while True:
+            yield sim.timeout(0.0, name="spin-step")
+
+    return sim.process(spin(), name="spinner")
+
+
+# ----------------------------------------------------------- cascade trips
+@pytest.mark.unmonitored
+def test_zero_time_cascade_trips_livelock_error():
+    sim = Simulator(watchdog=Watchdog(max_same_time_events=500))
+    _spinner(sim)
+    with pytest.raises(LivelockError) as exc_info:
+        sim.run(until=10.0)
+    error = exc_info.value
+    assert error.kind == "zero-time-cascade"
+    assert error.time == 0.0
+    assert error.cascade_length >= 500
+    # The repeating cycle names the event and the waiting process.
+    assert error.cycle_exact
+    assert any("spin-step" in entry for entry in error.cycle)
+    message = str(error)
+    assert "repeating event cycle" in message
+    assert "spinner" in message
+
+
+@pytest.mark.unmonitored
+def test_waiting_report_names_heap_head():
+    """With other processes parked on the heap, the trip message lists who
+    is waiting."""
+    sim = Simulator(watchdog=Watchdog(max_same_time_events=500))
+
+    def sleeper():
+        yield sim.timeout(1e9, name="long-sleep")
+
+    sim.process(sleeper(), name="parked-process")
+    _spinner(sim)
+    with pytest.raises(LivelockError) as exc_info:
+        sim.run(until=10.0)
+    message = str(exc_info.value)
+    assert "who is waiting" in message
+    assert "parked-process" in message
+
+
+@pytest.mark.unmonitored
+def test_two_process_cycle_is_reported():
+    sim = Simulator(watchdog=Watchdog(max_same_time_events=200))
+
+    def ping(other_name):
+        while True:
+            yield sim.timeout(0.0, name=f"step:{other_name}")
+
+    sim.process(ping("b"), name="proc-a")
+    sim.process(ping("a"), name="proc-b")
+    with pytest.raises(LivelockError) as exc_info:
+        sim.run()
+    cycle = exc_info.value.cycle
+    assert exc_info.value.cycle_exact
+    assert len(cycle) == 2
+    assert {entry.split(" -> ")[1] for entry in cycle} == {"proc-a", "proc-b"}
+
+
+@pytest.mark.unmonitored
+def test_watchdog_reset_forgets_streak():
+    watchdog = Watchdog(max_same_time_events=50)
+    sim = Simulator(watchdog=watchdog)
+    _spinner(sim)
+    with pytest.raises(LivelockError):
+        sim.run(until=1.0)
+    watchdog.reset()
+    sim2 = Simulator(watchdog=watchdog)
+    for i in range(30):
+        sim2.call_at(float(i), lambda: None)
+    sim2.run()  # clock advances every pop: no trip
+    assert sim2.now >= 29.0
+
+
+def test_watchdog_parameter_validation():
+    with pytest.raises(ValueError):
+        Watchdog(max_same_time_events=0)
+    with pytest.raises(ValueError):
+        Watchdog(sample_window=2)
+    with pytest.raises(ValueError):
+        Watchdog(wall_stall_seconds=0.0)
+
+
+# --------------------------------------------------- legitimate bursts pass
+def test_large_barrier_burst_does_not_trip():
+    """A 337-process barrier releases every waiter in one zero-time cascade;
+    that legitimate burst (~1.3k pops) must stay far below the default
+    budget."""
+    sim = Simulator(watchdog=Watchdog())  # default threshold
+    n = 337
+    barrier = sim.event(name="barrier")
+    done = []
+
+    def worker(rank):
+        yield barrier
+        # a few more zero-time hops after the release, like a real barrier
+        # exit path (fan-out of sends at the same timestamp)
+        yield sim.timeout(0.0)
+        yield sim.timeout(0.0)
+        done.append(rank)
+
+    for rank in range(n):
+        sim.process(worker(rank), name=f"w{rank}")
+    sim.call_at(5.0, barrier.succeed)
+    sim.run()
+    assert len(done) == n
+
+
+def test_default_threshold_matches_engine_constant():
+    assert Watchdog().max_same_time_events == DEFAULT_MAX_SAME_TIME_EVENTS
+    assert LivelockMonitor().max_same_time_events == DEFAULT_MAX_SAME_TIME_EVENTS
+
+
+# ------------------------------------------------------------- wall stall
+@pytest.mark.unmonitored
+def test_wall_stall_trips_with_injected_clock():
+    ticks = iter(range(10_000))
+    watchdog = Watchdog(
+        max_same_time_events=10**9,  # never trip on the cascade counter
+        wall_stall_seconds=5.0,
+        clock=lambda: float(next(ticks)),  # 1 "second" per check
+    )
+    sim = Simulator(watchdog=watchdog)
+    _spinner(sim)
+    with pytest.raises(LivelockError) as exc_info:
+        sim.run(until=1.0)
+    assert exc_info.value.kind == "wall-stall"
+
+
+@pytest.mark.unmonitored
+def test_wall_clock_not_consulted_when_disabled():
+    def boom():  # the default watchdog must never read the host clock
+        raise AssertionError("wall clock consulted")
+
+    sim = Simulator(watchdog=Watchdog(max_same_time_events=100, clock=boom))
+    _spinner(sim)
+    with pytest.raises(LivelockError) as exc_info:
+        sim.run(until=1.0)
+    assert exc_info.value.kind == "zero-time-cascade"
+
+
+# ------------------------------------------------- the monitor-side twin
+@pytest.mark.unmonitored
+def test_livelock_monitor_reports_cascade():
+    sim = Simulator()
+    bus = MonitorBus([LivelockMonitor(max_same_time_events=300)],
+                     raise_on_violation=True)
+    bus.attach(sim)
+    _spinner(sim)
+    with pytest.raises(InvariantViolation, match="livelock"):
+        sim.run(until=1.0)
+
+
+@pytest.mark.unmonitored
+def test_livelock_monitor_quiet_on_progress():
+    sim = Simulator()
+    monitor = LivelockMonitor(max_same_time_events=100)
+    bus = MonitorBus([monitor], raise_on_violation=True)
+    bus.attach(sim)
+    for i in range(500):
+        sim.call_at(float(i) * 0.01, lambda: None)
+    sim.run()
+    bus.finish()
+    assert bus.ok
+    assert monitor.checked == 500

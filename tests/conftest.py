@@ -16,7 +16,7 @@ from repro.verify import MonitorBus, all_monitors
 
 @pytest.fixture(autouse=True)
 def monitored_engine(request, monkeypatch):
-    """All six protocol-invariant monitors, on for every simulator."""
+    """Every shipped protocol-invariant monitor, on for every simulator."""
     if request.node.get_closest_marker("unmonitored"):
         yield []
         return

@@ -9,8 +9,8 @@ boundary, never drop and never duplicate.
 
 Waves are triggered at hypothesis-drawn instants via the protocols'
 proactive ``request_wave`` hook, so markers land at arbitrary points of the
-message stream.  The suite-wide monitor fixture keeps all six invariant
-monitors (including pcl-flush and fifo-delivery) live for every example.
+message stream.  The suite-wide monitor fixture keeps every invariant
+monitor (including pcl-flush and fifo-delivery) live for every example.
 """
 
 from hypothesis import given, settings, strategies as st

@@ -25,18 +25,20 @@ from repro.sim import Simulator
 from repro.sim.trace import Tracer, dump_jsonl
 
 
-def _small_execute(seed):
+def _small_execute(seed, procs_per_node=None):
     profile = get_profile("smoke", seed=seed)
     bench = BT(klass="B", scale=profile.time_scale)
     result = execute(bench, 4, "pcl", profile, period=30.0,
+                     procs_per_node=procs_per_node,
                      name="determinism-probe")
     verdicts = drain_monitor_verdicts()
     return result, verdicts
 
 
-def test_execute_twice_same_seed_is_byte_identical():
-    first, verdicts_a = _small_execute(seed=123)
-    second, verdicts_b = _small_execute(seed=123)
+@pytest.mark.parametrize("procs_per_node", [None, 2])
+def test_execute_twice_same_seed_is_byte_identical(procs_per_node):
+    first, verdicts_a = _small_execute(seed=123, procs_per_node=procs_per_node)
+    second, verdicts_b = _small_execute(seed=123, procs_per_node=procs_per_node)
     assert first.completion == second.completion  # exact, not approx
     assert json.dumps(first.row(), sort_keys=True) == \
         json.dumps(second.row(), sort_keys=True)
@@ -47,16 +49,21 @@ def test_execute_twice_same_seed_is_byte_identical():
     assert first.stats.blocked_seconds == second.stats.blocked_seconds
 
 
+@pytest.mark.parametrize("procs_per_node", [None, 2])
 @pytest.mark.parametrize("protocol", ["pcl", "vcl"])
-def test_full_trace_twice_same_seed_is_byte_identical(tmp_path, protocol):
+def test_full_trace_twice_same_seed_is_byte_identical(tmp_path, protocol,
+                                                      procs_per_node):
     """Two full-trace runs of one figure-style deployment: every record —
-    times, pipe names, job uids, packet seqs — must match byte for byte."""
+    times, pipe names, job uids, packet seqs — must match byte for byte.
+    ``procs_per_node=2`` covers the shared-node regime that used to
+    livelock Pcl (see tests/chaos/test_livelock_regression.py)."""
     paths = []
     for attempt in ("a", "b"):
         sim = Simulator(seed=123, trace=Tracer(enabled=True))
         bench = BT(klass="B", scale=0.05)
         spec = DeploymentSpec(
             n_procs=4, protocol=protocol, period=1.5,
+            procs_per_node=procs_per_node,
             image_bytes=bench.image_bytes(4) * 0.05,
         )
         run = build_run(sim, spec, bench.make_app(4), name="trace-probe")
@@ -67,6 +74,46 @@ def test_full_trace_twice_same_seed_is_byte_identical(tmp_path, protocol):
         paths.append(path)
     with open(paths[0], "rb") as a, open(paths[1], "rb") as b:
         assert a.read() == b.read()
+
+
+def test_chaos_scenario_trace_twice_same_seed_is_byte_identical(tmp_path):
+    """A full chaos scenario — kill, rollback, restart, with the engine
+    watchdog armed — must also be byte-reproducible: the watchdog observes
+    every pop but emits nothing unless it trips."""
+    from repro.sim import Watchdog
+
+    paths = []
+    for attempt in ("a", "b"):
+        sim = Simulator(seed=5, trace=Tracer(enabled=True),
+                        watchdog=Watchdog())
+        bench = BT(klass="B", scale=0.05)
+        spec = DeploymentSpec(
+            n_procs=4, protocol="pcl", period=1.5, procs_per_node=2,
+            image_bytes=bench.image_bytes(4) * 0.05,
+        )
+        run = build_run(sim, spec, bench.make_app(4), name="chaos-probe")
+        run.start()
+        run.schedule_task_kill(1, 1.7)
+        sim.run_until_complete(run.completed, limit=1e8)
+        assert run.stats.restarts == 1
+        path = str(tmp_path / f"chaos-{attempt}.jsonl")
+        assert dump_jsonl(sim.trace.records, path) > 0
+        paths.append(path)
+    with open(paths[0], "rb") as a, open(paths[1], "rb") as b:
+        assert a.read() == b.read()
+
+
+def test_chaos_scenario_result_twice_is_identical():
+    """Verdict-level determinism: the chaos runner's JSON row for the same
+    scenario is identical across runs (what makes campaign artifacts
+    diffable)."""
+    from repro.chaos import Scenario, run_scenario
+
+    scenario = Scenario(protocol="vcl", channel="ch_v", procs_per_node=2,
+                        kill="node", victim=1, kill_time=1.7, seed=9)
+    rows = [json.dumps(run_scenario(scenario).to_dict(), sort_keys=True)
+            for _ in range(2)]
+    assert rows[0] == rows[1]
 
 
 def test_failure_recovery_trace_twice_same_seed_is_byte_identical(tmp_path):
