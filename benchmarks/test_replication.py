@@ -1,0 +1,5 @@
+"""Regenerate the replication ablation (see repro.harness.figures.replication)."""
+
+
+def test_replication(regenerate):
+    regenerate("replication")

@@ -14,21 +14,35 @@ riding along, and every run is classified into a verdict:
 ``recovered``
     A failure was injected, at least one rollback/restart happened, and the
     final result is still correct.
+``recovered-degraded``
+    Recovered with the correct result, but the restart had to route around
+    storage damage: replica fetch retries and/or a fallback to an older
+    committed wave.
 ``wrong-result``
     The run finished but the application state is wrong or an invariant
     monitor flagged the run.
 ``deadlock`` / ``livelock`` / ``hang``
     The run never finished: the event heap drained, the watchdog caught a
     zero-time cascade, or the simulated-time budget ran out.
+``storage-unrecoverable``
+    The restart cleanly exhausted every replica of every committed wave
+    (e.g. the sole server of a K=1 run died) — a classified outcome, not a
+    hang.  Fails the campaign unless the scenario ``expect``s it.
 ``crash``
     The simulation itself raised.
 
-Only ``completed`` and ``recovered`` are acceptable; anything else fails
-the campaign (exit status 1 from the CLI).
+``completed``, ``recovered`` and ``recovered-degraded`` are acceptable;
+anything else fails the campaign (exit status 1 from the CLI) unless the
+scenario's ``expect`` field names it — the K=1 storage scenarios *expect*
+``storage-unrecoverable``.
 
 Run the standard smoke campaign::
 
     python -m repro.chaos --smoke --out results/chaos
+
+or just the storage-resilience slice::
+
+    python -m repro.chaos --storage --out results/chaos
 
 See ``docs/CHAOS.md`` for the full knob reference.
 """
@@ -41,17 +55,25 @@ from repro.chaos.runner import (
     run_campaign,
     run_scenario,
 )
-from repro.chaos.spec import CampaignSpec, Scenario, smoke_campaign
+from repro.chaos.spec import (
+    STORAGE_FAULTS,
+    CampaignSpec,
+    Scenario,
+    smoke_campaign,
+    storage_campaign,
+)
 
 __all__ = [
     "BAD_VERDICTS",
     "CampaignResult",
     "CampaignSpec",
     "OK_VERDICTS",
+    "STORAGE_FAULTS",
     "Scenario",
     "ScenarioResult",
     "run_campaign",
     "run_scenario",
     "smoke_campaign",
+    "storage_campaign",
     "write_report",
 ]

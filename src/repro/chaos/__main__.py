@@ -1,11 +1,13 @@
 """Chaos campaign CLI.
 
-Standard CI smoke sweep (24 scenarios, exits 1 on any bad verdict)::
+Standard CI smoke sweep (36 scenarios, exits 1 on any bad verdict)::
 
     python -m repro.chaos --smoke --out results/chaos
 
-``--list`` prints the scenario labels without running anything;
-``--filter`` restricts the campaign to labels containing a substring.
+``--storage`` runs only the 12 storage-resilience scenarios (replicated
+servers, server kills, image corruption); ``--list`` prints the scenario
+labels without running anything; ``--filter`` restricts the campaign to
+labels containing a substring.
 """
 
 from __future__ import annotations
@@ -17,19 +19,24 @@ from typing import List, Optional
 
 from repro.chaos.report import write_report
 from repro.chaos.runner import run_campaign
-from repro.chaos.spec import smoke_campaign
+from repro.chaos.spec import smoke_campaign, storage_campaign
 
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.chaos",
         description="Fault-injection campaigns over the checkpointing "
-                    "harness (verdicts: completed/recovered pass; "
-                    "wrong-result/deadlock/livelock/hang/crash fail).",
+                    "harness (verdicts: completed/recovered/"
+                    "recovered-degraded pass; wrong-result/deadlock/"
+                    "livelock/hang/crash/storage-unrecoverable fail, "
+                    "unless the scenario expects them).",
     )
     parser.add_argument("--smoke", action="store_true",
-                        help="run the standard 24-scenario smoke campaign "
+                        help="run the standard 36-scenario smoke campaign "
                              "(the default when no campaign is selected)")
+    parser.add_argument("--storage", action="store_true",
+                        help="run only the 12 storage-resilience scenarios "
+                             "(replication, server kills, corruption)")
     parser.add_argument("--seed", type=int, default=0,
                         help="root seed for every scenario (default 0)")
     parser.add_argument("--out", default="results/chaos",
@@ -47,7 +54,10 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    campaign = smoke_campaign(seed=args.seed)  # --smoke is also the default
+    if args.storage:
+        campaign = storage_campaign(seed=args.seed)
+    else:
+        campaign = smoke_campaign(seed=args.seed)  # --smoke is the default
     if args.filter:
         campaign = campaign.filtered(args.filter)
     if args.list:

@@ -16,6 +16,7 @@ from typing import Callable, Dict, List, Optional
 from repro.apps import BENCHMARKS
 from repro.chaos.report import CampaignResult
 from repro.chaos.spec import CampaignSpec, Scenario
+from repro.ft import StorageUnrecoverableError
 from repro.harness.config import SMOKE
 from repro.harness.runner import _monitor_verdicts, execute
 from repro.sim import DeadlockError, LivelockError, TimeLimitError
@@ -30,10 +31,10 @@ __all__ = [
 ]
 
 #: verdicts that pass a campaign
-OK_VERDICTS = frozenset({"completed", "recovered"})
-#: verdicts that fail a campaign
+OK_VERDICTS = frozenset({"completed", "recovered", "recovered-degraded"})
+#: verdicts that fail a campaign (unless the scenario ``expect``s them)
 BAD_VERDICTS = frozenset({"wrong-result", "deadlock", "livelock", "hang",
-                          "crash"})
+                          "crash", "storage-unrecoverable"})
 
 
 @dataclass
@@ -56,6 +57,8 @@ class ScenarioResult:
 
     @property
     def ok(self) -> bool:
+        if self.scenario.expect:
+            return self.verdict in self.scenario.expect
         return self.verdict in OK_VERDICTS
 
     def to_dict(self) -> dict:
@@ -120,6 +123,15 @@ def run_scenario(
         time_limit = time_limit_factor * bench.expected_time(scenario.n_procs)
     kills = ([(scenario.kill, scenario.victim, scenario.kill_time)]
              if scenario.kill is not None else [])
+    storage_faults = []
+    if scenario.storage_fault is not None:
+        # server_kill targets a server; image_corrupt additionally names
+        # the rank whose replica goes bad (the killed rank: its restart is
+        # the one that must survive the bad copy)
+        storage_faults.append((
+            scenario.storage_fault, scenario.storage_victim,
+            scenario.victim, scenario.storage_time,
+        ))
     try:
         result = execute(
             bench,
@@ -136,6 +148,9 @@ def run_scenario(
             name=scenario.label,
             monitors=monitors,
             kills=kills,
+            ckpt_replication=scenario.replication,
+            ckpt_gc_keep=scenario.gc_keep,
+            storage_faults=storage_faults,
             watchdog=True,
         )
     except LivelockError as error:
@@ -150,6 +165,11 @@ def run_scenario(
         # (e.g. the test suite's autouse fixture); harness buses collect.
         return ScenarioResult(scenario, "wrong-result",
                               detail=str(error).splitlines()[0])
+    except StorageUnrecoverableError as error:
+        # Restart exhausted every replica of every committed wave: a clean,
+        # classified outcome (the K=1 scenarios *expect* it), never a hang.
+        return ScenarioResult(scenario, "storage-unrecoverable",
+                              detail=str(error))
     except Exception as error:  # noqa: BLE001 - any crash is a verdict
         return ScenarioResult(scenario, "crash",
                               detail=f"{type(error).__name__}: {error}")
@@ -162,9 +182,17 @@ def run_scenario(
     if wrong is not None:
         verdict, detail = "wrong-result", wrong
     elif result.stats.restarts > 0:
-        verdict, detail = "recovered", (
-            f"{result.stats.failures} failure(s), "
-            f"{result.stats.restarts} restart(s)")
+        detail = (f"{result.stats.failures} failure(s), "
+                  f"{result.stats.restarts} restart(s)")
+        degraded = result.stats.fetch_retries or result.stats.wave_fallbacks
+        if degraded:
+            # correct result, but the restart had to route around storage
+            # damage (replica retries and/or a fallback to an older wave)
+            verdict = "recovered-degraded"
+            detail += (f", {result.stats.fetch_retries} fetch retrie(s), "
+                       f"{result.stats.wave_fallbacks} wave fallback(s)")
+        else:
+            verdict = "recovered"
     else:
         verdict, detail = "completed", ""
     return ScenarioResult(

@@ -19,10 +19,20 @@ import itertools
 from dataclasses import asdict, dataclass, field
 from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 
-__all__ = ["Scenario", "CampaignSpec", "smoke_campaign", "KILL_KINDS"]
+__all__ = [
+    "Scenario",
+    "CampaignSpec",
+    "smoke_campaign",
+    "storage_campaign",
+    "KILL_KINDS",
+    "STORAGE_FAULTS",
+]
 
 #: valid failure kinds; None in a scenario means "no failure injected"
 KILL_KINDS = ("task", "node")
+
+#: valid storage-tier faults; None means "storage stays healthy"
+STORAGE_FAULTS = ("server_kill", "image_corrupt")
 
 #: the paper's channel(s) for each protocol implementation (see
 #: :func:`repro.harness.runner.default_channel`; Nemesis is the MPICH2
@@ -56,6 +66,19 @@ class Scenario:
     scale: float = 0.05
     network: str = "gige"
     n_servers: int = 1
+    #: checkpoint images stream to this many servers (quorum commit)
+    replication: int = 1
+    #: committed waves each server retains (GC depth)
+    gc_keep: int = 1
+    #: "server_kill", "image_corrupt", or None (healthy storage tier)
+    storage_fault: Optional[str] = None
+    #: index of the checkpoint server hit by the storage fault
+    storage_victim: int = 0
+    #: simulated seconds at which the storage fault fires
+    storage_time: float = 0.0
+    #: when non-empty, *these* verdicts count as ok instead of OK_VERDICTS —
+    #: e.g. a K=1 server kill is expected to end "storage-unrecoverable"
+    expect: Tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
         if self.kill is not None and self.kill not in KILL_KINDS:
@@ -66,6 +89,23 @@ class Scenario:
                              f"{self.n_procs} processes")
         if self.kill is not None and self.kill_time < 0:
             raise ValueError("kill_time must be >= 0")
+        if self.storage_fault is not None:
+            if self.storage_fault not in STORAGE_FAULTS:
+                raise ValueError(
+                    f"unknown storage fault {self.storage_fault!r} "
+                    f"(expected one of {STORAGE_FAULTS} or None)")
+            if not 0 <= self.storage_victim < self.n_servers:
+                raise ValueError(
+                    f"storage victim {self.storage_victim} outside "
+                    f"{self.n_servers} server(s)")
+            if self.storage_time < 0:
+                raise ValueError("storage_time must be >= 0")
+        if not 1 <= self.replication <= self.n_servers:
+            raise ValueError(
+                f"replication must be between 1 and n_servers "
+                f"({self.n_servers}), got {self.replication}")
+        if self.gc_keep < 1:
+            raise ValueError("gc_keep must be >= 1")
 
     @property
     def label(self) -> str:
@@ -74,14 +114,26 @@ class Scenario:
             fault = "nokill"
         else:
             fault = f"{self.kill}-r{self.victim}@{self.kill_time:g}"
+        storage = ""
+        if self.replication != 1:
+            storage += f"-K{self.replication}"
+        if self.gc_keep != 1:
+            storage += f"-gc{self.gc_keep}"
+        if self.storage_fault is not None:
+            storage += (f"-{self.storage_fault}-cs{self.storage_victim}"
+                        f"@{self.storage_time:g}")
         return (f"{self.protocol}-{self.channel}-ppn{self.procs_per_node}"
-                f"-{fault}-s{self.seed}")
+                f"-{fault}{storage}-s{self.seed}")
 
     def to_dict(self) -> dict:
         return asdict(self)
 
     @classmethod
     def from_dict(cls, data: dict) -> "Scenario":
+        data = dict(data)
+        # JSON round-trips tuples as lists
+        if "expect" in data:
+            data["expect"] = tuple(data["expect"])
         return cls(**data)
 
 
@@ -142,17 +194,73 @@ class CampaignSpec:
         return cls(scenarios=scenarios, name=name)
 
 
+def storage_campaign(seed: int = 0) -> CampaignSpec:
+    """Checkpoint-*storage* resilience sweep: 12 scenarios.
+
+    Every scenario pairs a storage-tier fault with a node kill (a server
+    death alone never takes the job down — ranks only notice at restart
+    time), over both TCP implementations.  At the smoke scale wave 1 spans
+    ~1.5–2.1 simulated seconds and commits at ~2.1; wave 2 commits at ~4.2.
+
+    Per protocol/channel combo:
+
+    * K=2 server kill after wave 1 commits (t=2.4) — restart must fetch the
+      victim's image from the surviving replica;
+    * K=2 server kill *inside* wave 1 (t=1.7) — quorum degrades mid-upload;
+    * K=2 single-replica corruption (t=2.4) — checksum rejects the bad copy,
+      the fetch retries the intact replica;
+    * K=1, gc_keep=2 corruption after wave 2 commits (t=4.45: the commit
+      lands at 4.15 for Pcl, 4.38 for Vcl) — the only wave-2 copy is bad,
+      restart falls back to the retained wave 1;
+    * K=1 server kill — the sole replica set is gone: the run must end in a
+      clean classified ``storage-unrecoverable``, not a hang;
+    * K=1 corruption of the victim's sole replica — likewise unrecoverable.
+    """
+    scenarios = []
+    for protocol, channel in (("pcl", "ft_sock"), ("vcl", "ch_v")):
+        common = dict(protocol=protocol, channel=channel, seed=seed)
+        scenarios += [
+            Scenario(kill="node", victim=1, kill_time=2.8,
+                     n_servers=2, replication=2,
+                     storage_fault="server_kill", storage_victim=0,
+                     storage_time=2.4, **common),
+            Scenario(kill="node", victim=1, kill_time=2.8,
+                     n_servers=2, replication=2,
+                     storage_fault="server_kill", storage_victim=0,
+                     storage_time=1.7, **common),
+            Scenario(kill="node", victim=1, kill_time=2.8,
+                     n_servers=2, replication=2,
+                     storage_fault="image_corrupt", storage_victim=0,
+                     storage_time=2.4, **common),
+            Scenario(kill="node", victim=1, kill_time=4.6, gc_keep=2,
+                     storage_fault="image_corrupt", storage_victim=0,
+                     storage_time=4.45, **common),
+            Scenario(kill="node", victim=1, kill_time=2.8,
+                     storage_fault="server_kill", storage_victim=0,
+                     storage_time=2.4,
+                     expect=("storage-unrecoverable",), **common),
+            Scenario(kill="node", victim=1, kill_time=2.8,
+                     storage_fault="image_corrupt", storage_victim=0,
+                     storage_time=2.4,
+                     expect=("storage-unrecoverable",), **common),
+        ]
+    return CampaignSpec(scenarios=scenarios, name="storage")
+
+
 def smoke_campaign(seed: int = 0) -> CampaignSpec:
-    """The standard CI smoke sweep: 24 scenarios, a few seconds of wall time.
+    """The standard CI smoke sweep: 36 scenarios, a few seconds of wall time.
 
     Covers both protocols, all three paper channels, 1 and 2 processes per
     node, task and node kills, and both kill phases — inside the first
     checkpoint wave (t=1.7: wave 1 spans ~1.5–2.1 at the smoke scale) and
     between waves (t=2.8: after wave 1 commits, before wave 2 starts at
-    ~3.6).  3 combos × 2 ppn × 2 kill kinds × 2 kill times = 24.
+    ~3.6).  3 combos × 2 ppn × 2 kill kinds × 2 kill times = 24, plus the
+    12 storage-resilience scenarios of :func:`storage_campaign`.
     """
-    return CampaignSpec.grid(
+    grid = CampaignSpec.grid(
         kill_times=(1.7, 2.8),
         seeds=(seed,),
         name="smoke",
     )
+    grid.scenarios.extend(storage_campaign(seed).scenarios)
+    return grid

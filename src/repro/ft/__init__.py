@@ -4,9 +4,14 @@
   with daemon-side message logging (MPICH-Vcl, Sec. 3/4.1).
 * :class:`~repro.ft.pcl.PclProtocol` — blocking channel-flushing checkpoints
   (MPICH2-Pcl, Sec. 3/4.2).
-* :class:`~repro.ft.server.CheckpointServer` — shared image storage machinery.
-* :class:`~repro.ft.recovery.FTRun` — kill / rollback / restart orchestration.
-* :class:`~repro.ft.failure.FailureInjector` — task and node failures.
+* :class:`~repro.ft.server.CheckpointServer` — shared image storage machinery
+  with per-image checksums, K-way replica assignment and quorum-aware commit.
+* :class:`~repro.ft.recovery.FTRun` — kill / rollback / restart orchestration,
+  replica-aware fetch retry/backoff (:class:`~repro.ft.recovery.FetchPolicy`)
+  and graceful degradation
+  (:class:`~repro.ft.recovery.StorageUnrecoverableError`).
+* :class:`~repro.ft.failure.FailureInjector` — task, node and checkpoint-server
+  failures plus silent image corruption.
 """
 
 from repro.ft.failure import FailureInjector
@@ -19,8 +24,13 @@ from repro.ft.protocol import (
     LocalImageStore,
     SCHEDULER_ID,
 )
-from repro.ft.recovery import FTRun, InstantLauncher
-from repro.ft.server import CheckpointServer, assign_servers
+from repro.ft.recovery import (
+    FetchPolicy,
+    FTRun,
+    InstantLauncher,
+    StorageUnrecoverableError,
+)
+from repro.ft.server import CheckpointServer, assign_replicas, assign_servers
 from repro.ft.vcl import VclEndpoint, VclProtocol
 
 __all__ = [
@@ -29,6 +39,7 @@ __all__ = [
     "CheckpointImage",
     "CheckpointServer",
     "FailureInjector",
+    "FetchPolicy",
     "FORK_LATENCY",
     "FTRun",
     "FTStats",
@@ -38,7 +49,9 @@ __all__ = [
     "PclProtocol",
     "RUNTIME_IMAGE_OVERHEAD_BYTES",
     "SCHEDULER_ID",
+    "StorageUnrecoverableError",
     "VclEndpoint",
     "VclProtocol",
+    "assign_replicas",
     "assign_servers",
 ]

@@ -6,6 +6,12 @@ detection is immediate, and the machine — including the local checkpoint
 file on its disk — survives.  :meth:`FailureInjector.kill_task` reproduces
 that.  :meth:`FailureInjector.kill_node` additionally takes the machine (and
 its local images) down, for the spare-node recovery path.
+
+The storage tier fails too: :meth:`FailureInjector.kill_server` takes a
+checkpoint-server machine down (its stored replicas die with it), and
+:meth:`FailureInjector.corrupt_image` silently damages one stored replica —
+the corruption surfaces only when a restore verifies the checksum, like
+latent media corruption.
 """
 
 from __future__ import annotations
@@ -36,9 +42,13 @@ class FailureInjector:
         endpoint_protocol = channel.protocol
         channel.shutdown()  # breaks every socket of this task
         if endpoint_protocol is not None:
-            server_end = getattr(endpoint_protocol, "_server_end", None)
-            if server_end is not None:
-                server_end.connection.break_()
+            server_ends = getattr(endpoint_protocol, "_server_ends", None)
+            if server_ends is None:
+                server_end = getattr(endpoint_protocol, "_server_end", None)
+                server_ends = [server_end] if server_end is not None else []
+            for server_end in server_ends:
+                if server_end is not None:
+                    server_end.connection.break_()
             endpoint_protocol.detach()
         job.app_processes[rank].interrupt("task killed")
         # The runtime (dispatcher / process manager) holds a monitoring
@@ -61,6 +71,45 @@ class FailureInjector:
             if endpoint.node is node:
                 self.kill_task(job, r)
         self.net.fail_node(node)
+
+    def kill_server(self, server: "CheckpointServer") -> None:
+        """Kill a checkpoint-server machine.
+
+        Every connection touching it breaks (in-flight uploads and fetches
+        fail over to the surviving replicas), its receiver processes stop,
+        and the replicas stored on it are gone.  The compute job itself does
+        not die — storage loss only matters at the next wave or restart.
+        """
+        if not server.node.alive:
+            return
+        self.sim.trace.record(self.sim.now, "ft.failure", kind="server",
+                              server=server.name, node=server.node.name)
+        self.kills.append((self.sim.now, "server", server.name))
+        server.shutdown()
+        self.net.fail_node(server.node)
+
+    def corrupt_image(self, server: "CheckpointServer", rank: int,
+                      wave: Optional[int] = None) -> None:
+        """Silently corrupt ``rank``'s stored replica on ``server``.
+
+        Targets the newest *committed* wave by default (the one a restore
+        would fetch), falling back to the newest stored wave; a no-op when
+        the server holds nothing for the rank.
+        """
+        if wave is None:
+            if rank in server.storage.get(server.committed_wave, {}):
+                wave = server.committed_wave
+            else:
+                waves = [w for w in sorted(server.storage, reverse=True)
+                         if rank in server.storage[w]]
+                wave = waves[0] if waves else server.committed_wave
+        image = server.storage.get(wave, {}).get(rank)
+        if image is None:
+            return
+        image.corrupt()
+        self.sim.trace.record(self.sim.now, "ft.image_corrupted",
+                              server=server.name, rank=rank, wave=wave)
+        self.kills.append((self.sim.now, "corrupt", (server.name, rank, wave)))
 
     # ------------------------------------------------------------- scheduled
     def schedule_task_kill(self, job: "MPIJob", rank: int, at: float) -> None:

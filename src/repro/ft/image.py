@@ -9,6 +9,7 @@ clone writes the image while the original continues computing.
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass, field
 from typing import Any, List, Optional
 
@@ -41,7 +42,65 @@ class CheckpointImage:
     logged_bytes: float = 0.0
     #: simulated time at which the image was fully stored
     stored_at: Optional[float] = None
+    #: integrity checksum over the record's restore-relevant fields; set when
+    #: the storing server seals the record (BLCR images carry a CRC trailer)
+    checksum: Optional[int] = None
+    #: a sealed record is complete — image received in full, logs (if any)
+    #: attached — and eligible for commit; unsealed records are partial
+    sealed: bool = False
 
     @property
     def total_bytes(self) -> float:
         return self.nbytes + self.logged_bytes
+
+    # ---------------------------------------------------------------- integrity
+    def compute_checksum(self) -> int:
+        """CRC over the restore-relevant fields.
+
+        The simulation carries no real payload bytes, so the checksum covers
+        the metadata that determines what a restore would reconstruct: rank,
+        wave, image size, and the attached log (byte count and message count).
+        A corrupted replica is modelled by flipping the *stored* checksum, so
+        verification fails exactly as a payload CRC mismatch would.
+        """
+        tag = (f"{self.rank}:{self.wave}:{self.nbytes!r}:"
+               f"{self.logged_bytes!r}:{len(self.logged_messages)}")
+        return zlib.crc32(tag.encode("ascii"))
+
+    def seal(self) -> None:
+        """Mark the record complete and freeze its checksum."""
+        self.checksum = self.compute_checksum()
+        self.sealed = True
+
+    def verify(self) -> bool:
+        """True when the record is sealed and its checksum still matches."""
+        return self.sealed and self.checksum == self.compute_checksum()
+
+    def corrupt(self) -> None:
+        """Damage the stored record in place (chaos injection).
+
+        The record stays sealed — corruption is silent until a restore
+        verifies the checksum, exactly like latent media corruption.
+        """
+        base = self.compute_checksum()
+        self.checksum = base ^ 0xFFFFFFFF
+
+    def replica(self) -> "CheckpointImage":
+        """An independent stored copy for one server.
+
+        Each server must hold its own record so per-replica state
+        (``stored_at``, ``sealed``, corruption) never leaks across servers
+        or back into the sender's in-memory image.  The snapshot object is
+        shared — it is immutable application state.
+        """
+        return CheckpointImage(
+            rank=self.rank,
+            wave=self.wave,
+            nbytes=self.nbytes,
+            snapshot=self.snapshot,
+            logged_messages=list(self.logged_messages),
+            logged_bytes=self.logged_bytes,
+            stored_at=self.stored_at,
+            checksum=self.checksum,
+            sealed=self.sealed,
+        )

@@ -41,6 +41,11 @@ class FTStats:
         self.failures = 0
         self.restarts = 0
         self.recovery_seconds = 0.0
+        #: remote image fetches that failed and were retried on another
+        #: replica or a later backoff round
+        self.fetch_retries = 0
+        #: restarts that had to fall back past the newest committed wave
+        self.wave_fallbacks = 0
 
     def wave_durations(self) -> List[float]:
         return [end - start for _w, start, end in self.wave_records]
@@ -77,9 +82,26 @@ class LocalImageStore:
         for key in [k for k in self._images if k[0] == node_name]:
             del self._images[key]
 
+    def waves(self) -> List[int]:
+        """Distinct waves with at least one surviving local image."""
+        return sorted({image.wave for image in self._images.values()})
+
 
 class BaseEndpoint:
-    """Per-rank protocol endpoint: server connection, image storage."""
+    """Per-rank protocol endpoint: server connections, image storage.
+
+    With ``ckpt_replication == 1`` a rank talks to exactly one server and
+    the code path is byte-for-byte the unreplicated protocol.  With K > 1
+    the rank streams its image to all K assigned replicas concurrently
+    (each stream is a real connection, so the extra NIC/uplink contention
+    the replication costs is modelled, keeping Fig. 5 honest) and proceeds
+    once a majority of the reachable replicas acknowledged.
+    """
+
+    #: whether the image message alone completes this protocol's upload
+    #: (Vcl overrides: its log may still follow, so the server must not
+    #: seal the record at image receipt)
+    image_final = True
 
     def __init__(self, protocol: "BaseProtocol", rank: int) -> None:
         self.protocol = protocol
@@ -90,9 +112,18 @@ class BaseEndpoint:
         self.context = self.job.contexts[rank]
         self.endpoint = self.job.endpoints[rank]
         self.server: CheckpointServer = protocol.server_map[rank]
-        self._server_end = None
-        self._ack_waiters: Dict[Tuple[str, int], "Event"] = {}
+        #: ordered replica servers; index 0 is the primary (== self.server)
+        self.replicas: List[CheckpointServer] = protocol.replica_map[rank]
+        self._server_ends: List[Optional["ConnectionEnd"]] = [None] * len(self.replicas)
+        self._ack_waiters: Dict[Tuple[int, str, int], "Event"] = {}
+        #: wave -> replica indices whose image upload was acknowledged
+        self._acked_replicas: Dict[int, set] = {}
         self._helpers: List["Process"] = []
+
+    @property
+    def _server_end(self):
+        """Primary-server connection end (back-compat accessor)."""
+        return self._server_ends[0]
 
     # ----------------------------------------------------------- plumbing
     def _spawn(self, generator, name: str) -> "Process":
@@ -100,40 +131,64 @@ class BaseEndpoint:
         self._helpers.append(process)
         return process
 
-    def _server_connection(self):
-        if self._server_end is None:
-            self._server_end = self.server.open_connection(self.endpoint)
-            self._spawn(self._ack_loop(), f"ft:ack:r{self.rank}")
-            self.protocol._connections.append(self._server_end.connection)
-        return self._server_end
+    def _server_connection(self, index: int = 0):
+        if self._server_ends[index] is None:
+            end = self.replicas[index].open_connection(self.endpoint)
+            self._server_ends[index] = end
+            suffix = "" if index == 0 else f":s{index}"
+            self._spawn(self._ack_loop(index), f"ft:ack:r{self.rank}{suffix}")
+            self.protocol._connections.append(end.connection)
+        return self._server_ends[index]
 
-    def _ack_loop(self):
-        end = self._server_end
+    def _ack_loop(self, index: int = 0):
+        end = self._server_ends[index]
         while True:
             try:
                 message = yield end.recv()
             except ConnectionError:
+                # The replica (or our own node) went away: fail this
+                # replica's pending acks so quorum gates can re-count.
+                for key in [k for k in self._ack_waiters if k[0] == index]:
+                    waiter = self._ack_waiters.pop(key)
+                    if not waiter.triggered:
+                        waiter.defused = True
+                        waiter.fail(ConnectionError("server connection lost"))
                 return
             if message[0] == "ack":
                 _kind, what, _rank, wave = message
-                waiter = self._ack_waiters.pop((what, wave), None)
+                waiter = self._ack_waiters.pop((index, what, wave), None)
                 if waiter is not None and not waiter.triggered:
                     waiter.succeed()
 
-    def _await_ack(self, what: str, wave: int) -> "Event":
-        event = self.sim.event(name=f"ack:{what}:{wave}:r{self.rank}")
-        self._ack_waiters[(what, wave)] = event
+    def _await_ack(self, what: str, wave: int, index: int = 0) -> "Event":
+        suffix = "" if index == 0 else f":s{index}"
+        event = self.sim.event(name=f"ack:{what}:{wave}:r{self.rank}{suffix}")
+        self._ack_waiters[(index, what, wave)] = event
         return event
 
     # --------------------------------------------------------- image storage
     def _store_image(self, image: CheckpointImage):
         """Generator: fork, then pipeline the image to local disk and to the
-        checkpoint server; completes when the server acknowledged."""
+        checkpoint server replicas; completes when acknowledged (K=1) or
+        when a majority of reachable replicas acknowledged (K>1)."""
         yield self.sim.timeout(self.protocol.fork_latency)
+        if len(self.replicas) == 1:
+            yield from self._upload_single(image)
+        else:
+            yield from self._upload_replicated(image)
+        self.protocol.local_images.put(self.endpoint.node.name, self.rank, image)
+        self.protocol.stats.image_bytes_stored += image.nbytes
+        self.sim.trace.record(
+            self.sim.now, "ft.image_stored",
+            rank=self.rank, wave=image.wave, nbytes=image.nbytes,
+        )
+
+    def _upload_single(self, image: CheckpointImage):
         end = self._server_connection()
         disk_write = self.endpoint.node.disk.write(image.nbytes)
         ack = self._await_ack("image", image.wave)
-        end.send(("image", self.rank, image.wave, image), nbytes=image.nbytes)
+        end.send(("image", self.rank, image.wave, image, self.image_final),
+                 nbytes=image.nbytes)
         # While the image streams, the channel taxes application messages
         # (progress-engine coupling; see BaseChannel.transfer_tax).
         self.channel.active_transfer_end = end
@@ -141,13 +196,87 @@ class BaseEndpoint:
             yield ack
         finally:
             self.channel.active_transfer_end = None
+        self._acked_replicas.setdefault(image.wave, set()).add(0)
         yield disk_write
-        self.protocol.local_images.put(self.endpoint.node.name, self.rank, image)
-        self.protocol.stats.image_bytes_stored += image.nbytes
-        self.sim.trace.record(
-            self.sim.now, "ft.image_stored",
-            rank=self.rank, wave=image.wave, nbytes=image.nbytes,
-        )
+
+    def _live_replica_ends(self, indices=None) -> List[Tuple[int, "ConnectionEnd"]]:
+        """(index, connection end) for every reachable replica.
+
+        ``indices`` restricts the candidates (e.g. to the replicas that
+        acknowledged this wave's image); by default all replicas are tried.
+        Connections are opened lazily, dead servers and broken connections
+        are skipped.
+        """
+        candidates = range(len(self.replicas)) if indices is None else indices
+        ends: List[Tuple[int, "ConnectionEnd"]] = []
+        for index in candidates:
+            if not self.replicas[index].node.alive:
+                continue
+            end = self._server_connection(index)
+            if end.broken:
+                continue
+            ends.append((index, end))
+        return ends
+
+    def _replicated_send(self, what: str, wave: int, targets, message,
+                         nbytes: float, on_ok=None) -> "Event":
+        """Send ``message`` to every target replica; the returned gate event
+        succeeds once a majority of the targets acknowledged and fails when
+        enough replicas became unreachable that a majority is impossible.
+
+        Majority of the replicas reachable *now*: a healthy K-replica set
+        proceeds only with ceil((K+1)/2) copies — enough that any single
+        server failure leaves the wave restorable — while an already
+        degraded replica set can still make progress on what is left.
+        """
+        need = len(targets) // 2 + 1
+        gate = self.sim.event(name=f"quorum:{what}:{wave}:r{self.rank}")
+        state = {"ok": 0, "done": 0}
+
+        def _on_ack(index: int):
+            def callback(event: "Event") -> None:
+                state["done"] += 1
+                if event.ok:
+                    state["ok"] += 1
+                    if on_ok is not None:
+                        on_ok(index)
+                else:
+                    # the gate is this transfer's consumer; a per-replica
+                    # failure must not escape to the engine
+                    event.defused = True
+                if gate.triggered:
+                    return
+                if state["ok"] >= need:
+                    gate.succeed()
+                elif state["done"] == len(targets):
+                    gate.fail(ConnectionError(
+                        f"checkpoint replica quorum unreachable ({what})"))
+            return callback
+
+        for index, end in targets:
+            ack = self._await_ack(what, wave, index)
+            ack.callbacks.append(_on_ack(index))
+            end.send(message, nbytes=nbytes)
+        return gate
+
+    def _upload_replicated(self, image: CheckpointImage):
+        ends = self._live_replica_ends()
+        if not ends:
+            raise ConnectionError("no reachable checkpoint replica")
+        disk_write = self.endpoint.node.disk.write(image.nbytes)
+        acked = self._acked_replicas.setdefault(image.wave, set())
+        gate = self._replicated_send(
+            "image", image.wave, ends,
+            ("image", self.rank, image.wave, image, self.image_final),
+            nbytes=image.nbytes, on_ok=acked.add)
+        # All K streams contend on this rank's uplink; the progress-engine
+        # tax is charged once, keyed off the primary stream.
+        self.channel.active_transfer_end = ends[0][1]
+        try:
+            yield gate
+        finally:
+            self.channel.active_transfer_end = None
+        yield disk_write
 
     def detach(self) -> None:
         for helper in self._helpers:
@@ -182,12 +311,19 @@ class BaseProtocol:
         local_images: Optional[LocalImageStore] = None,
         start_wave: int = 1,
         fork_latency: float = FORK_LATENCY,
+        replica_map: Optional[Dict[int, List[CheckpointServer]]] = None,
     ) -> None:
         if period <= 0:
             raise ValueError("checkpoint period must be positive")
         self.job = job
         self.sim = job.sim
         self.server_map = server_map
+        #: rank -> ordered replica servers; defaults to the unreplicated
+        #: layout (each rank's single assigned server)
+        self.replica_map: Dict[int, List[CheckpointServer]] = (
+            replica_map if replica_map is not None
+            else {rank: [server] for rank, server in server_map.items()}
+        )
         self.period = period
         self.stats = stats if stats is not None else FTStats()
         self.local_images = local_images if local_images is not None else LocalImageStore()
@@ -226,6 +362,10 @@ class BaseProtocol:
     @property
     def servers(self) -> List[CheckpointServer]:
         seen: List[CheckpointServer] = []
+        for replicas in self.replica_map.values():
+            for server in replicas:
+                if server not in seen:
+                    seen.append(server)
         for server in self.server_map.values():
             if server not in seen:
                 seen.append(server)
@@ -274,4 +414,5 @@ class BaseProtocol:
 
     def _commit_servers(self, wave: int) -> None:
         for server in self.servers:
-            server.commit(wave)
+            if server.node.alive:
+                server.commit(wave)

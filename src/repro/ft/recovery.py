@@ -26,18 +26,54 @@ processes with no cost, for unit tests.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.ft.failure import FailureInjector
 from repro.ft.image import CheckpointImage
 from repro.ft.protocol import FTStats, LocalImageStore
-from repro.ft.server import CheckpointServer, assign_servers
+from repro.ft.server import CheckpointServer, assign_replicas, assign_servers
 from repro.mpi.job import MPIJob
 from repro.net.topology import BaseNetwork, Endpoint
 
-__all__ = ["FTRun", "InstantLauncher"]
+__all__ = ["FTRun", "InstantLauncher", "FetchPolicy", "StorageUnrecoverableError"]
 
 _CONTROL_BYTES = 64.0
+
+
+class StorageUnrecoverableError(RuntimeError):
+    """No complete replica set of any committed wave survives.
+
+    Raised by recovery when every restore candidate — the newest committed
+    wave and every older retained one — is missing at least one rank's
+    verifiable image on every surviving replica and on local disk.  The
+    chaos runner classifies it as the ``storage-unrecoverable`` verdict;
+    without it the run would wedge waiting for a fetch that can never
+    complete.
+    """
+
+
+@dataclass(frozen=True)
+class FetchPolicy:
+    """Retry policy for remote image fetches at restart.
+
+    A fetch sweeps the rank's replicas in assignment order; after a full
+    sweep fails, it backs off exponentially (``backoff_base *
+    backoff_factor**round``) with multiplicative jitter drawn from a
+    dedicated named RNG stream, so retry schedules are deterministic per
+    seed and never synchronize across ranks.  ``max_rounds`` sweeps total.
+    """
+
+    max_rounds: int = 3
+    backoff_base: float = 0.05
+    backoff_factor: float = 2.0
+    jitter: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.max_rounds < 1:
+            raise ValueError("max_rounds must be >= 1")
+        if self.backoff_base < 0 or self.jitter < 0 or self.backoff_factor < 1:
+            raise ValueError("invalid backoff parameters")
 
 
 class InstantLauncher:
@@ -77,6 +113,8 @@ class FTRun:
         name: str = "ftrun",
         restart_policy: str = "same-node",
         max_restarts: int = 16,
+        replication: int = 1,
+        fetch_policy: Optional[FetchPolicy] = None,
     ) -> None:
         if restart_policy not in ("same-node", "spare"):
             raise ValueError(f"unknown restart policy {restart_policy!r}")
@@ -87,8 +125,15 @@ class FTRun:
         self.channel_cls = channel_cls
         self.protocol_factory = protocol_factory
         self.servers = list(servers)
+        self.replication = replication
+        self.fetch_policy = fetch_policy if fetch_policy is not None else FetchPolicy()
         self.server_map: Dict[int, CheckpointServer] = (
             assign_servers(len(self.endpoints), self.servers) if self.servers else {}
+        )
+        #: rank -> ordered K replica servers (index 0 == server_map[rank])
+        self.replica_map: Dict[int, List[CheckpointServer]] = (
+            assign_replicas(len(self.endpoints), self.servers, replication)
+            if self.servers else {}
         )
         self.launcher = launcher if launcher is not None else InstantLauncher()
         self.image_bytes = image_bytes
@@ -106,6 +151,20 @@ class FTRun:
         self._handling_failure = False
         self._started_at = 0.0
 
+    def use_site_server_map(self, mapping: Dict[int, CheckpointServer]) -> None:
+        """Override the round-robin primary assignment (e.g. Grid'5000 site
+        locality) while keeping the replica sets consistent: each rank's
+        replicas are its new primary followed by the next servers in ring
+        order."""
+        self.server_map = dict(mapping)
+        order = self.servers
+        self.replica_map = {}
+        for rank, primary in mapping.items():
+            start = order.index(primary)
+            self.replica_map[rank] = [
+                order[(start + j) % len(order)] for j in range(self.replication)
+            ]
+
     # ------------------------------------------------------------- lifecycle
     def start(self) -> None:
         self.launcher.validate(len(self.endpoints))
@@ -116,10 +175,19 @@ class FTRun:
                 launcher=type(self.launcher).__name__,
                 **self.launcher.fd_budget(),
             )
+        if self.sim.trace.wants("ft.storage_config"):
+            self.sim.trace.record(
+                self.sim.now, "ft.storage_config",
+                replication=self.replication,
+                n_servers=len(self.servers),
+                gc_keep=max((s.gc_keep for s in self.servers), default=1),
+                fetch_rounds=self.fetch_policy.max_rounds,
+            )
         self._started_at = self.sim.now
         self._launch(snapshots=None, logs=None, first=True)
 
-    def _launch(self, snapshots, logs, first: bool) -> None:
+    def _launch(self, snapshots, logs, first: bool,
+                restored_wave: Optional[int] = None) -> None:
         self._incarnation += 1
         job = MPIJob(
             self.sim, self.net, self.endpoints, self.app_factory,
@@ -143,7 +211,7 @@ class FTRun:
             # channel FIFO order.
             trace = self.sim.trace
             live = trace.wants("ft.replayed")
-            wave = self.committed_wave()
+            wave = restored_wave if restored_wave is not None else self.committed_wave()
             for rank, packets in logs.items():
                 for packet in packets:
                     if live:
@@ -172,6 +240,19 @@ class FTRun:
     def schedule_node_kill(self, rank: int, at: float) -> None:
         self.sim.call_at(at - self.sim.now, self._kill_now, rank, "node")
 
+    def schedule_server_kill(self, index: int, at: float) -> None:
+        """Kill checkpoint server ``index`` (machine and all its replicas)
+        at simulated time ``at``."""
+        self.sim.call_at(at - self.sim.now, self._server_kill_now, index)
+
+    def schedule_image_corrupt(self, server_index: int, rank: int, at: float,
+                               wave: Optional[int] = None) -> None:
+        """Silently corrupt ``rank``'s stored image on server
+        ``server_index`` at time ``at`` (newest committed wave by
+        default)."""
+        self.sim.call_at(at - self.sim.now, self._corrupt_now,
+                         server_index, rank, wave)
+
     def _kill_now(self, rank: int, kind: str) -> None:
         if self.job is None or self.completed.triggered:
             return
@@ -179,6 +260,18 @@ class FTRun:
             self.injector.kill_task(self.job, rank)
         else:
             self.injector.kill_node(self.job, rank)
+
+    def _server_kill_now(self, index: int) -> None:
+        if self.completed.triggered or not self.servers:
+            return
+        self.injector.kill_server(self.servers[index % len(self.servers)])
+
+    def _corrupt_now(self, server_index: int, rank: int,
+                     wave: Optional[int]) -> None:
+        if self.completed.triggered or not self.servers:
+            return
+        server = self.servers[server_index % len(self.servers)]
+        self.injector.corrupt_image(server, rank, wave)
 
     def enable_random_failures(
         self,
@@ -243,22 +336,33 @@ class FTRun:
         if self.stats.restarts >= self.max_restarts:
             raise RuntimeError(f"{self.name}: exceeded {self.max_restarts} restarts")
 
-        wave = self.committed_wave()
+        committed = self.committed_wave()
         yield self.sim.timeout(self.launcher.respawn_lead_time())
         self._replace_dead_nodes()
 
         snapshots: Optional[List] = None
         logs: Optional[Dict[int, list]] = None
-        if wave > 0:
-            fetchers = [
-                self.sim.process(self._fetch_image(rank, wave),
-                                 name=f"{self.name}:fetch:r{rank}")
-                for rank in range(len(self.endpoints))
-            ]
-            images = []
-            for fetcher in fetchers:
-                image = yield fetcher
-                images.append(image)
+        restored_wave = 0
+        if committed > 0:
+            images: Optional[List[CheckpointImage]] = None
+            for candidate in self._restorable_candidates(committed):
+                images = yield from self._fetch_wave(candidate)
+                if images is not None:
+                    restored_wave = candidate
+                    break
+                # Wave ``candidate`` is damaged beyond reconstruction —
+                # fall back to the next-newest retained commit.
+                self.stats.wave_fallbacks += 1
+                self.sim.trace.record(self.sim.now, "ft.wave_fallback",
+                                      wave=candidate,
+                                      incarnation=self._incarnation)
+            if images is None:
+                self.sim.trace.record(self.sim.now, "ft.storage_unrecoverable",
+                                      committed=committed,
+                                      incarnation=self._incarnation)
+                raise StorageUnrecoverableError(
+                    f"{self.name}: no complete replica set of any committed "
+                    f"wave <= {committed} survives")
             snapshots = [image.snapshot for image in images]
             logs = {
                 rank: image.logged_messages
@@ -267,9 +371,10 @@ class FTRun:
             }
         self.stats.restarts += 1
         self.stats.recovery_seconds += self.sim.now - recovery_start
-        self.sim.trace.record(self.sim.now, "ft.restarted", wave=wave,
+        self.sim.trace.record(self.sim.now, "ft.restarted", wave=restored_wave,
                               incarnation=self._incarnation)
-        self._launch(snapshots=snapshots, logs=logs, first=False)
+        self._launch(snapshots=snapshots, logs=logs, first=False,
+                     restored_wave=restored_wave)
 
     def _replace_dead_nodes(self) -> None:
         """Spare-node policy: move endpoints off dead machines."""
@@ -290,23 +395,106 @@ class FTRun:
                 raise RuntimeError("no spare nodes available for restart")
             self.endpoints[index] = Endpoint(spares.pop(0), 0)
 
+    def _restorable_candidates(self, committed: int) -> List[int]:
+        """Committed waves worth a restore attempt, newest first.
+
+        The newest commit is always tried; older retained commits (servers
+        with ``gc_keep > 1`` keep them) and waves still present as local
+        images are the fallbacks when the newest one is damaged.
+        """
+        candidates = {committed}
+        for server in self.servers:
+            if not server.node.alive:
+                continue
+            for wave in server.committed_waves:
+                if 0 < wave <= committed and wave in server.storage:
+                    candidates.add(wave)
+        for wave in self.local_images.waves():
+            if 0 < wave <= committed:
+                candidates.add(wave)
+        return sorted(candidates, reverse=True)
+
+    def _fetch_wave(self, wave: int):
+        """Generator: fetch every rank's image of ``wave``, concurrently.
+
+        All-or-nothing: returns the image list, or None when any rank's
+        image could not be recovered from any replica (the wave is not
+        fully restorable and a consistent rollback to it is impossible).
+        """
+        fetchers = [
+            self.sim.process(self._fetch_image(rank, wave),
+                             name=f"{self.name}:fetch:r{rank}")
+            for rank in range(len(self.endpoints))
+        ]
+        images = []
+        for fetcher in fetchers:
+            image = yield fetcher
+            images.append(image)
+        if any(image is None for image in images):
+            return None
+        return images
+
+    def _note_fetch_failure(self, rank: int, wave: int, index: int,
+                            reason: str) -> None:
+        self.stats.fetch_retries += 1
+        if self.sim.trace.wants("ft.fetch_failed"):
+            self.sim.trace.record(self.sim.now, "ft.fetch_failed", rank=rank,
+                                  wave=wave, replica=index, reason=reason)
+
     def _fetch_image(self, rank: int, wave: int):
-        """Generator: load ``rank``'s image of ``wave`` (local disk first)."""
+        """Generator: load ``rank``'s image of ``wave``, or None.
+
+        Local disk first (same-machine restart); otherwise sweep the rank's
+        replicas in assignment order, verifying the checksum of whatever
+        comes back, with deterministic exponential backoff + jitter between
+        sweeps (:class:`FetchPolicy`).  Returns None once every sweep is
+        exhausted or every replica is dead.
+        """
         endpoint = self.endpoints[rank]
         image = self.local_images.get(endpoint.node.name, rank, wave)
         if image is not None:
             yield endpoint.node.disk.read(image.nbytes)
             self.sim.trace.count("ft.restore_local")
             return image
-        server = self.server_map[rank]
-        connection = self.net.connect(endpoint, server.endpoint)
-        server.serve_connection(connection.end_b)
-        end = connection.end_a
-        end.send(("fetch", rank, wave), nbytes=_CONTROL_BYTES)
-        message = yield end.recv()
-        connection.break_()
-        _kind, image = message
-        if image is None:
-            raise RuntimeError(f"server lost rank {rank}'s image for wave {wave}")
-        self.sim.trace.count("ft.restore_remote")
-        return image
+        replicas = self.replica_map.get(rank) or [self.server_map[rank]]
+        policy = self.fetch_policy
+        rng = None
+        for round_no in range(policy.max_rounds):
+            for index, server in enumerate(replicas):
+                if not server.node.alive:
+                    continue
+                connection = self.net.connect(endpoint, server.endpoint)
+                server.serve_connection(connection.end_b)
+                end = connection.end_a
+                end.send(("fetch", rank, wave), nbytes=_CONTROL_BYTES)
+                try:
+                    message = yield end.recv()
+                except ConnectionError:
+                    # replica died mid-fetch
+                    self._note_fetch_failure(rank, wave, index, "connection")
+                    continue
+                connection.break_()
+                _kind, image, status = message
+                if image is not None and image.verify():
+                    self.sim.trace.count("ft.restore_remote")
+                    if self.sim.trace.wants("ft.fetch_ok"):
+                        self.sim.trace.record(
+                            self.sim.now, "ft.fetch_ok", rank=rank, wave=wave,
+                            server=server.name, checksum=image.checksum)
+                    return image
+                self._note_fetch_failure(
+                    rank, wave, index, status if image is None else "corrupt")
+            if not any(server.node.alive for server in replicas):
+                break  # nobody left to answer; backing off cannot help
+            if round_no + 1 < policy.max_rounds:
+                if rng is None:
+                    rng = self.sim.rng.stream(f"{self.name}.fetch.r{rank}")
+                delay = (policy.backoff_base
+                         * policy.backoff_factor ** round_no
+                         * (1.0 + policy.jitter * float(rng.random())))
+                if self.sim.trace.wants("ft.fetch_backoff"):
+                    self.sim.trace.record(self.sim.now, "ft.fetch_backoff",
+                                          rank=rank, wave=wave, round=round_no,
+                                          delay=delay)
+                yield self.sim.timeout(delay)
+        return None

@@ -48,6 +48,11 @@ _ACK_BYTES = 64.0
 class VclEndpoint(BaseEndpoint):
     """Rank-side state machine of the non-blocking protocol."""
 
+    #: the image message does not complete a Vcl upload — the channel-state
+    #: log may still follow, so the server seals the record at log attach
+    #: (or via seal_record() when the wave logged nothing)
+    image_final = False
+
     def __init__(self, protocol: "VclProtocol", rank: int) -> None:
         super().__init__(protocol, rank)
         self.wave = 0
@@ -150,19 +155,47 @@ class VclEndpoint(BaseEndpoint):
     def _ship_logs_and_ack(self):
         wave = self.wave
         if self._log:
-            end = self._server_connection()
-            ack = self._await_ack("log", wave)
-            end.send(("log", self.rank, wave, list(self._log), self._log_bytes),
-                     nbytes=self._log_bytes)
-            try:
-                yield ack
-            except ConnectionError:
-                return
+            if len(self.replicas) == 1:
+                end = self._server_connection()
+                ack = self._await_ack("log", wave)
+                try:
+                    end.send(("log", self.rank, wave, list(self._log),
+                              self._log_bytes), nbytes=self._log_bytes)
+                except ConnectionError:
+                    return
+                try:
+                    yield ack
+                except ConnectionError:
+                    return
+            else:
+                # Ship the channel state to the replicas that hold this
+                # wave's image; a majority of them must attach (and seal)
+                # the log before the wave may be acknowledged.
+                targets = self._live_replica_ends(
+                    sorted(self._acked_replicas.get(wave, ())))
+                if not targets:
+                    return
+                gate = self._replicated_send(
+                    "log", wave, targets,
+                    ("log", self.rank, wave, list(self._log), self._log_bytes),
+                    nbytes=self._log_bytes)
+                try:
+                    yield gate
+                except ConnectionError:
+                    return
             # keep the image's log reference locally too (same-node restarts)
             self._image.logged_messages = list(self._log)
             self._image.logged_bytes = self._log_bytes
             if isinstance(self.channel, ChVChannel):
                 self.channel.log_buffer_bytes = 0.0
+        else:
+            # No channel state this wave: nothing more will arrive, so the
+            # stored replicas are complete — seal them in place (in-process,
+            # like the on_rank_ack notification below).
+            for index in sorted(self._acked_replicas.get(wave, ())):
+                server = self.replicas[index]
+                if server.node.alive:
+                    server.seal_record(wave, self.rank)
         self.protocol.on_rank_ack(self.rank, wave)
 
 

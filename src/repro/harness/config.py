@@ -51,6 +51,13 @@ class Profile:
     fig8_periods: Tuple[float, ...] = (10.0, 25.0, 80.0)
     fig8_nodes: int = 32
 
+    # Replication ablation (Fig. 5-style): BT.B checkpoint time vs ranks at
+    # storage replication factors K, with a fixed server pool
+    repl_procs: Tuple[int, ...] = (16, 36, 64)
+    repl_factors: Tuple[int, ...] = (1, 2, 3)
+    repl_servers: int = 3
+    repl_period: float = 30.0
+
     # Fig. 9: grid, BT.B at fixed size, period sweep
     fig9_procs: int = 400
     fig9_periods: Tuple[float, ...] = (30.0, 60.0, 120.0, 240.0)
@@ -90,6 +97,7 @@ SMOKE = Profile(
     fig7_procs=16,
     fig8_procs=(4, 16),
     fig8_periods=(10.0, 60.0),
+    repl_procs=(4, 16),
     fig9_procs=36,
     fig9_periods=(60.0, 240.0),
     fig10_sizes=(16, 36),

@@ -86,6 +86,15 @@ PAPER_CLAIMS: Dict[str, tuple] = {
         "(Young/Daly), and probes that see failures coming should trigger "
         "proactive waves.",
     ),
+    "replication": (
+        "Sec. 5.2 (Fig. 5-style, extension)",
+        "Checkpoint transfers compete with the application for NIC "
+        "bandwidth, so replicating every image/log to K servers for "
+        "durability re-streams the same bytes K times: the blocking "
+        "protocol's wave duration and completion time grow with K at "
+        "every process count, while the failure-free application result "
+        "is unchanged.",
+    ),
 }
 
 

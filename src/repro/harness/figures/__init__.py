@@ -19,6 +19,7 @@ EXPERIMENT_IDS = (
     "scale_limit",
     "ablations",
     "mttf",
+    "replication",
 )
 
 

@@ -96,6 +96,12 @@ def execute(
     name: str = "exp",
     monitors: bool = True,
     kills: Sequence[Tuple[str, int, float]] = (),
+    ckpt_replication: int = 1,
+    ckpt_gc_keep: int = 1,
+    fetch_retries: int = 3,
+    fetch_backoff: float = 0.05,
+    fetch_jitter: float = 0.25,
+    storage_faults: Sequence[Tuple[str, int, int, float]] = (),
     watchdog: Union[bool, Watchdog] = True,
 ) -> RunResult:
     """Deploy and run one configuration to completion.
@@ -112,6 +118,14 @@ def execute(
     with ``at`` in *simulated* seconds (failure injection targets a point
     on the run's timeline, e.g. inside a specific checkpoint wave, so it is
     deliberately not profile-scaled).  Requires a fault-tolerance protocol.
+
+    ``ckpt_replication`` streams each image/log to that many servers with a
+    quorum commit; ``ckpt_gc_keep`` retains that many committed waves per
+    server; ``fetch_retries``/``fetch_backoff``/``fetch_jitter`` shape the
+    restart-time replica retry policy.  ``storage_faults`` injects
+    storage-tier failures: ``("server_kill" | "image_corrupt", server,
+    rank, at)`` quadruples (``rank`` is ignored by ``server_kill``), with
+    ``at`` in simulated seconds like ``kills``.
 
     ``watchdog`` arms the engine progress watchdog — pass False to run
     bare, or a configured :class:`~repro.sim.Watchdog` to tune thresholds.
@@ -141,6 +155,11 @@ def execute(
         procs_per_node=procs_per_node,
         n_compute_nodes=n_compute_nodes,
         launcher=launcher,
+        ckpt_replication=ckpt_replication,
+        ckpt_gc_keep=ckpt_gc_keep,
+        fetch_retries=fetch_retries,
+        fetch_backoff=fetch_backoff,
+        fetch_jitter=fetch_jitter,
     )
     run = build_run(sim, spec, bench.make_app(n_procs), name=name)
     run.start()
@@ -151,6 +170,14 @@ def execute(
             run.schedule_node_kill(rank, at)
         else:
             raise ValueError(f"unknown kill kind {kind!r} (task or node)")
+    for kind, server, rank, at in storage_faults:
+        if kind == "server_kill":
+            run.schedule_server_kill(server, at)
+        elif kind == "image_corrupt":
+            run.schedule_image_corrupt(server, rank, at)
+        else:
+            raise ValueError(f"unknown storage fault {kind!r} "
+                             f"(server_kill or image_corrupt)")
     completion = sim.run_until_complete(run.completed, limit=time_limit)
     meta = {"network": network, "n_servers": n_servers,
             "profile": profile.name, "bench": bench.describe(n_procs)}
@@ -160,6 +187,8 @@ def execute(
     meta["app_state"] = [dict(ctx.state) for ctx in run.job.contexts]
     if kills:
         meta["kills"] = [list(k) for k in kills]
+    if storage_faults:
+        meta["storage_faults"] = [list(f) for f in storage_faults]
     if bus is not None:
         bus.finish()
         bus.detach()

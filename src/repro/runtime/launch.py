@@ -18,6 +18,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from repro.ft import (
     CheckpointServer,
+    FetchPolicy,
     FTRun,
     InstantLauncher,
     PclProtocol,
@@ -63,6 +64,15 @@ class DeploymentSpec:
     fork_latency: float = FORK_LATENCY
     launcher: str = "auto"  # "auto" | "dispatcher" | "ftpm" | "instant"
     restart_policy: str = "same-node"
+    #: checkpoint storage resilience: each rank streams its image to
+    #: ``ckpt_replication`` servers, servers retain the newest
+    #: ``ckpt_gc_keep`` committed waves, and restarts retry fetches
+    #: ``fetch_retries`` rounds with exponential backoff + jitter
+    ckpt_replication: int = 1
+    ckpt_gc_keep: int = 1
+    fetch_retries: int = 3
+    fetch_backoff: float = 0.05
+    fetch_jitter: float = 0.25
 
     def __post_init__(self) -> None:
         if self.protocol not in ("pcl", "vcl", None):
@@ -73,6 +83,14 @@ class DeploymentSpec:
             raise ValueError(f"unknown network {self.network!r}")
         if self.n_servers < 1:
             raise ValueError("need at least one checkpoint server")
+        if not 1 <= self.ckpt_replication <= self.n_servers:
+            raise ValueError(
+                f"ckpt_replication must be between 1 and n_servers "
+                f"({self.n_servers}), got {self.ckpt_replication}")
+        if self.ckpt_gc_keep < 1:
+            raise ValueError("ckpt_gc_keep must be >= 1")
+        if self.fetch_retries < 1:
+            raise ValueError("fetch_retries must be >= 1")
 
 
 def _fabric_for(spec: DeploymentSpec):
@@ -156,7 +174,8 @@ def build_run(
 
     endpoints = net.place(spec.n_procs, procs_per_node=spec.procs_per_node)
     servers = [
-        CheckpointServer(sim, net, service_nodes[i], name=f"{name}:cs{i}")
+        CheckpointServer(sim, net, service_nodes[i], name=f"{name}:cs{i}",
+                         gc_keep=spec.ckpt_gc_keep)
         for i in range(spec.n_servers)
     ]
     scheduler_node = service_nodes[-1] if want_scheduler else None
@@ -171,6 +190,7 @@ def build_run(
                 stats=run.stats,
                 local_images=run.local_images,
                 fork_latency=spec.fork_latency,
+                replica_map=run.replica_map,
             )
             if spec.protocol == "pcl":
                 return PclProtocol(job, **kwargs)
@@ -181,7 +201,11 @@ def build_run(
         protocol_factory, servers, launcher=_make_launcher(spec),
         image_bytes=spec.image_bytes, name=name,
         restart_policy=spec.restart_policy,
+        replication=spec.ckpt_replication,
+        fetch_policy=FetchPolicy(max_rounds=spec.fetch_retries,
+                                 backoff_base=spec.fetch_backoff,
+                                 jitter=spec.fetch_jitter),
     )
     if spec.network == "grid5000":
-        run.server_map = _assign_servers_by_site(endpoints, servers)
+        run.use_site_server_map(_assign_servers_by_site(endpoints, servers))
     return run

@@ -19,7 +19,10 @@ packet level for every monitored run:
   1024-descriptor ``select()`` wall;
 * the engine keeps making progress (no zero-time cascade livelock) and
   every checkpoint wave that starts either completes or is recorded as
-  aborted (see :mod:`repro.chaos` for the campaign driver built on these).
+  aborted (see :mod:`repro.chaos` for the campaign driver built on these);
+* committed checkpoint waves stay durably restorable: every rank keeps a
+  sealed, checksum-intact replica on a live server, K-way replication
+  survives a single server death, and a restart never fabricates a wave.
 
 Attach all monitors to a simulator with::
 
@@ -39,6 +42,7 @@ from repro.verify.monitors import (
     LivelockMonitor,
     MonotoneClockMonitor,
     PclFlushMonitor,
+    StorageDurabilityMonitor,
     VclLoggingMonitor,
     VclNoOrphanMonitor,
     WaveLivenessMonitor,
@@ -57,5 +61,6 @@ __all__ = [
     "FdBudgetMonitor",
     "LivelockMonitor",
     "WaveLivenessMonitor",
+    "StorageDurabilityMonitor",
     "all_monitors",
 ]

@@ -33,6 +33,14 @@ Provenance of each invariant:
   when the job dies or completes mid-wave, ``ft.wave_aborted``.  A second
   wave starting while one is open, or a dangling wave at end of run, means
   the driver's commit plumbing wedged.
+* **storage-durability** — the replicated checkpoint store's contract
+  (:mod:`repro.ft.server`): a committed wave is restorable — every rank has
+  at least one sealed, checksum-intact replica on a live server when the
+  commit lands and, with replication ≥ 2, still after any single server
+  death; a successful fetch returns the checksum that was sealed, never a
+  corrupted or dead-server copy; a run only declares
+  ``storage-unrecoverable`` when no committed wave is fully covered; a
+  restart restores a wave some server actually committed.
 """
 
 from __future__ import annotations
@@ -52,6 +60,7 @@ __all__ = [
     "FdBudgetMonitor",
     "LivelockMonitor",
     "WaveLivenessMonitor",
+    "StorageDurabilityMonitor",
     "all_monitors",
 ]
 
@@ -625,6 +634,189 @@ class WaveLivenessMonitor(Monitor):
         self._open.clear()
 
 
+class StorageDurabilityMonitor(Monitor):
+    """Committed checkpoint waves stay restorable; fetches return what was
+    sealed.
+
+    The ledger mirrors the storage tier from its trace records: sealed
+    replicas (``ft.replica_stored``), commits (``ft.commit``), garbage
+    collection (``ft.wave_gc``), server deaths (``ft.failure`` with
+    ``kind="server"``) and injected corruption (``ft.image_corrupted``).
+    Against it the monitor checks:
+
+    1. at every commit, each rank of the job has at least one sealed,
+       intact replica of the committed wave on a live server;
+    2. with replication ≥ 2, the *first* server death still leaves the
+       newest committed wave fully covered (K-way replication must
+       tolerate one loss);
+    3. a successful fetch (``ft.fetch_ok``) comes from a live server, is
+       not a corrupted copy, and returns the sealed checksum;
+    4. ``ft.storage_unrecoverable`` is only declared when no committed
+       wave is fully covered by live intact replicas;
+    5. a restart (``ft.restarted``) restores a wave some server committed.
+
+    Job-wide coverage checks (1, 2, 4) need the rank count, learned from
+    ``runtime.validated``; without it (bare unit tests driving a server
+    directly) they are skipped rather than guessed.
+    """
+
+    name = "storage-durability"
+    categories = ("ft.storage_config", "runtime.validated",
+                  "ft.replica_stored", "ft.commit", "ft.wave_gc",
+                  "ft.failure", "ft.image_corrupted", "ft.fetch_ok",
+                  "ft.storage_unrecoverable", "ft.restarted")
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._replication = 1
+        #: rank count of the (single) validated job; None when unknown or
+        #: when several jobs of different sizes share the simulator
+        self._n_ranks: Optional[int] = None
+        self._ambiguous = False
+        #: (wave, rank) -> {server name: sealed checksum}
+        self._replicas: Dict[Tuple[int, int], Dict[str, int]] = {}
+        #: (server, wave, rank) replicas corrupted by injection
+        self._corrupt: Set[Tuple[str, int, int]] = set()
+        self._dead: Set[str] = set()
+        #: wave -> servers that committed it (and still retain it)
+        self._committed: Dict[int, Set[str]] = {}
+
+    def _covered(self, wave: int, rank: int) -> bool:
+        """Does some live server hold an intact sealed replica?"""
+        for server in self._replicas.get((wave, rank), ()):
+            if server in self._dead:
+                continue
+            if (server, wave, rank) in self._corrupt:
+                continue
+            return True
+        return False
+
+    def on_record(self, record: TraceRecord) -> None:
+        self.checked += 1
+        category = record.category
+        if category == "ft.replica_stored":
+            key = (record.get("wave", 0), record.get("rank", 0))
+            server = record.get("server")
+            self._replicas.setdefault(key, {})[server] = record.get("checksum")
+            # a fresh upload replaces any corrupted copy
+            self._corrupt.discard((server, key[0], key[1]))
+        elif category == "ft.commit":
+            wave = record.get("wave", 0)
+            self._committed.setdefault(wave, set()).add(record.get("server"))
+            if self._n_ranks is None:
+                return
+            for rank in range(self._n_ranks):
+                if not self._covered(wave, rank):
+                    self.violation(
+                        record.time,
+                        f"wave {wave} committed but rank {rank} has no "
+                        "sealed, intact replica on a live server — the "
+                        "commit is not durable",
+                    )
+        elif category == "ft.wave_gc":
+            wave = record.get("wave", 0)
+            server = record.get("server")
+            servers = self._committed.get(wave)
+            if servers is not None:
+                servers.discard(server)
+                if not servers:
+                    del self._committed[wave]
+            for (w, rank) in [k for k in self._replicas if k[0] == wave]:
+                self._replicas[(w, rank)].pop(server, None)
+                if not self._replicas[(w, rank)]:
+                    del self._replicas[(w, rank)]
+                self._corrupt.discard((server, w, rank))
+        elif category == "ft.failure":
+            if record.get("kind") != "server":
+                return
+            self._dead.add(record.get("server"))
+            if (self._replication < 2 or len(self._dead) != 1
+                    or self._n_ranks is None or not self._committed):
+                return
+            newest = max(self._committed)
+            for rank in range(self._n_ranks):
+                if not self._covered(newest, rank):
+                    self.violation(
+                        record.time,
+                        f"first server death ({record.get('server')}) lost "
+                        f"rank {rank} of committed wave {newest} although "
+                        f"replication is {self._replication} — K-way "
+                        "replication must survive one server loss",
+                    )
+        elif category == "ft.image_corrupted":
+            self._corrupt.add((record.get("server"), record.get("wave", 0),
+                               record.get("rank", 0)))
+        elif category == "ft.fetch_ok":
+            wave = record.get("wave", 0)
+            rank = record.get("rank", 0)
+            server = record.get("server")
+            if server in self._dead:
+                self.violation(
+                    record.time,
+                    f"rank {rank} fetched wave {wave} from {server}, a "
+                    "server that already died",
+                )
+            if (server, wave, rank) in self._corrupt:
+                self.violation(
+                    record.time,
+                    f"rank {rank} fetched wave {wave} from {server} whose "
+                    "replica was corrupted — the checksum verification "
+                    "accepted a bad copy",
+                )
+            sealed = self._replicas.get((wave, rank), {}).get(server)
+            if sealed is None:
+                self.violation(
+                    record.time,
+                    f"rank {rank} fetched wave {wave} from {server} but "
+                    "that server never sealed such a replica (or it was "
+                    "garbage-collected)",
+                )
+            elif record.get("checksum") != sealed:
+                self.violation(
+                    record.time,
+                    f"rank {rank} fetched wave {wave} from {server} with "
+                    f"checksum {record.get('checksum')} but the sealed "
+                    f"replica recorded {sealed}",
+                )
+        elif category == "ft.storage_unrecoverable":
+            if self._n_ranks is None:
+                return
+            for wave in sorted(self._committed, reverse=True):
+                if wave <= 0:
+                    continue
+                if all(self._covered(wave, rank)
+                       for rank in range(self._n_ranks)):
+                    self.violation(
+                        record.time,
+                        f"run declared storage-unrecoverable although "
+                        f"committed wave {wave} is fully covered by live, "
+                        "intact replicas — the fetch/fallback path gave up "
+                        "too early",
+                    )
+                    return
+        elif category == "ft.restarted":
+            wave = record.get("wave") or 0
+            if wave > 0 and self._committed and wave not in self._committed:
+                self.violation(
+                    record.time,
+                    f"restart restored wave {wave}, which no checkpoint "
+                    "server ever committed",
+                )
+        elif category == "ft.storage_config":
+            self._replication = record.get("replication", 1)
+        else:  # runtime.validated
+            n_ranks = record.get("n_ranks")
+            if n_ranks is None or self._ambiguous:
+                return
+            if self._n_ranks is None:
+                self._n_ranks = n_ranks
+            elif self._n_ranks != n_ranks:
+                # several jobs of different sizes share this simulator —
+                # job-wide coverage is no longer well-defined
+                self._n_ranks = None
+                self._ambiguous = True
+
+
 def all_monitors() -> list:
     """Fresh instances of every shipped monitor."""
     return [
@@ -636,4 +828,5 @@ def all_monitors() -> list:
         FdBudgetMonitor(),
         LivelockMonitor(),
         WaveLivenessMonitor(),
+        StorageDurabilityMonitor(),
     ]

@@ -20,12 +20,18 @@ from repro.chaos.__main__ import main as chaos_main
 def test_smoke_campaign_covers_acceptance_grid():
     campaign = smoke_campaign()
     scenarios = list(campaign)
-    assert len(scenarios) >= 24
+    assert len(scenarios) >= 36
     assert {s.protocol for s in scenarios} == {"pcl", "vcl"}
     assert {s.channel for s in scenarios} == {"ft_sock", "nemesis", "ch_v"}
     assert {s.procs_per_node for s in scenarios} == {1, 2}
     assert {s.kill for s in scenarios} == {"task", "node"}
     assert len({s.kill_time for s in scenarios}) >= 2
+    # the storage-resilience slice rides along: replication, server kills,
+    # corruption, and the expected-unrecoverable K=1 scenarios
+    assert {s.replication for s in scenarios} == {1, 2}
+    assert {s.storage_fault for s in scenarios} == \
+        {None, "server_kill", "image_corrupt"}
+    assert any(s.expect == ("storage-unrecoverable",) for s in scenarios)
     # labels are unique: each scenario is addressable in reports and filters
     labels = [s.label for s in scenarios]
     assert len(set(labels)) == len(labels)
@@ -134,7 +140,7 @@ def test_campaign_report_artifacts(tmp_path):
 def test_cli_list_and_filter(capsys):
     assert chaos_main(["--list"]) == 0
     out = capsys.readouterr().out.strip().splitlines()
-    assert len(out) == 24
+    assert len(out) == 36
     assert chaos_main(["--list", "--filter", "nemesis"]) == 0
     filtered = capsys.readouterr().out.strip().splitlines()
     assert 0 < len(filtered) < 24

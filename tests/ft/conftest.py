@@ -29,6 +29,9 @@ def build_ft_run(
     fork_latency=0.01,
     restart_policy="same-node",
     spare_nodes=0,
+    replication=1,
+    gc_keep=1,
+    fetch_policy=None,
 ):
     """Assemble network, servers and an FTRun; returns (run, net)."""
     extra = n_servers + (1 if protocol == "vcl" else 0)
@@ -37,7 +40,8 @@ def build_ft_run(
     service_nodes = net.nodes[size + spare_nodes:]
     endpoints = [Endpoint(node, 0) for node in compute_nodes[:size]]
     servers = [
-        CheckpointServer(sim, net, service_nodes[i], name=f"cs{i}")
+        CheckpointServer(sim, net, service_nodes[i], name=f"cs{i}",
+                         gc_keep=gc_keep)
         for i in range(n_servers)
     ]
     scheduler_node = service_nodes[-1] if protocol == "vcl" else None
@@ -49,6 +53,7 @@ def build_ft_run(
             stats=run.stats,
             local_images=run.local_images,
             fork_latency=fork_latency,
+            replica_map=run.replica_map,
         )
         if protocol == "pcl":
             return PclProtocol(job, **kwargs)
@@ -58,6 +63,7 @@ def build_ft_run(
         sim, net, endpoints, app_factory, channel_cls,
         protocol_factory if protocol is not None else None,
         servers, image_bytes=image_bytes, restart_policy=restart_policy,
+        replication=replication, fetch_policy=fetch_policy,
     )
     return run, net
 

@@ -1,0 +1,118 @@
+"""Resilient checkpoint storage: replication, integrity, retry, fallback.
+
+The timeline at this scale (size 4, period 0.6, 2e5-byte images): wave 1
+commits at t≈0.62, wave 2 at t≈1.24, the failure-free run completes at
+t≈1.55 — kills are scheduled around those points.
+"""
+
+import pytest
+
+from repro.ft import FetchPolicy, StorageUnrecoverableError
+from repro.sim import Simulator
+
+from tests.ft.conftest import assert_ring_result, build_ft_run, ring_app_factory
+
+ITERS = 30
+
+
+def _build(sim, protocol="pcl", **kwargs):
+    kwargs.setdefault("size", 4)
+    kwargs.setdefault("n_servers", 2)
+    kwargs.setdefault("period", 0.6)
+    kwargs.setdefault("image_bytes", 2e5)
+    return build_ft_run(sim, ring_app_factory(iters=ITERS), protocol=protocol,
+                        **kwargs)
+
+
+@pytest.mark.parametrize("protocol", ["pcl", "vcl"])
+def test_replicated_upload_seals_a_copy_on_every_replica(protocol):
+    sim = Simulator(seed=7)
+    run, _ = _build(sim, protocol=protocol, replication=2)
+    run.start()
+    sim.run_until_complete(run.completed, limit=1e5)
+    assert_ring_result(run, ITERS)
+    wave = max(server.committed_wave for server in run.servers)
+    assert wave >= 2
+    for server in run.servers:
+        assert server.committed_wave == wave
+        for rank in range(4):
+            image = server.storage[wave][rank]
+            assert image.sealed and image.verify()
+    # replicas are independent copies, not aliases of one object
+    first, second = (s.storage[wave][0] for s in run.servers)
+    assert first is not second
+    assert run.stats.fetch_retries == 0
+
+
+@pytest.mark.parametrize("protocol", ["pcl", "vcl"])
+def test_single_server_kill_with_replication_recovers(protocol):
+    sim = Simulator(seed=7)
+    run, _ = _build(sim, protocol=protocol, replication=2)
+    run.start()
+    run.schedule_server_kill(0, 0.7)   # after wave 1 commits
+    run.schedule_node_kill(1, 0.8)     # victim's local images die with it
+    sim.run_until_complete(run.completed, limit=1e5)
+    assert run.stats.restarts == 1
+    assert run.stats.wave_fallbacks == 0
+    assert_ring_result(run, ITERS)
+
+
+def test_corrupt_replica_falls_back_to_an_older_committed_wave():
+    sim = Simulator(seed=7)
+    run, _ = _build(sim, n_servers=1, replication=1, gc_keep=2)
+    run.start()
+    # wave 2 committed at ~1.24; its only copy of rank 1 goes bad before
+    # the node kill forces rank 1 to restore remotely
+    run.schedule_image_corrupt(0, 1, at=1.3)
+    run.schedule_node_kill(1, 1.35)
+    sim.run_until_complete(run.completed, limit=1e5)
+    assert run.stats.restarts == 1
+    assert run.stats.fetch_retries > 0
+    assert run.stats.wave_fallbacks >= 1
+    assert_ring_result(run, ITERS)
+
+
+def test_sole_server_kill_raises_clean_unrecoverable():
+    sim = Simulator(seed=7)
+    run, _ = _build(sim, n_servers=1, replication=1)
+    run.start()
+    run.schedule_server_kill(0, 0.7)
+    run.schedule_node_kill(1, 0.8)
+    with pytest.raises(StorageUnrecoverableError, match="no complete replica"):
+        sim.run_until_complete(run.completed, limit=1e5)
+
+
+def test_corrupt_sole_replica_raises_clean_unrecoverable():
+    sim = Simulator(seed=7)
+    run, _ = _build(sim, n_servers=1, replication=1)
+    run.start()
+    run.schedule_image_corrupt(0, 1, at=0.7)
+    run.schedule_node_kill(1, 0.8)
+    with pytest.raises(StorageUnrecoverableError, match="no complete replica"):
+        sim.run_until_complete(run.completed, limit=1e5)
+
+
+def test_fetch_retries_back_off_deterministically():
+    """Two identical runs take identical backoff delays (seeded streams)."""
+    delays = []
+    for _ in range(2):
+        sim = Simulator(seed=7)
+        run, _ = _build(sim, n_servers=1, replication=1,
+                        fetch_policy=FetchPolicy(max_rounds=3,
+                                                 backoff_base=0.02))
+        run.start()
+        run.schedule_image_corrupt(0, 1, at=0.7)
+        run.schedule_node_kill(1, 0.8)
+        with pytest.raises(StorageUnrecoverableError):
+            sim.run_until_complete(run.completed, limit=1e5)
+        delays.append(run.stats.fetch_retries)
+    assert delays[0] == delays[1] > 0
+
+
+def test_fetch_policy_validation():
+    with pytest.raises(ValueError):
+        FetchPolicy(max_rounds=0)
+    with pytest.raises(ValueError):
+        FetchPolicy(backoff_factor=0.5)
+    with pytest.raises(ValueError):
+        FetchPolicy(jitter=-0.1)

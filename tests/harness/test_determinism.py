@@ -139,6 +139,35 @@ def test_failure_recovery_trace_twice_same_seed_is_byte_identical(tmp_path):
         assert a.read() == b.read()
 
 
+def test_server_kill_replicated_restart_trace_is_byte_identical(tmp_path):
+    """The storage-resilience machinery — replicated uploads with a quorum
+    gate, a server kill, restart-time replica retries with seeded backoff —
+    must be byte-reproducible like every other failure path."""
+    from repro.sim import Watchdog
+
+    paths = []
+    for attempt in ("a", "b"):
+        sim = Simulator(seed=5, trace=Tracer(enabled=True),
+                        watchdog=Watchdog())
+        bench = BT(klass="B", scale=0.05)
+        spec = DeploymentSpec(
+            n_procs=4, protocol="pcl", period=1.5, procs_per_node=2,
+            image_bytes=bench.image_bytes(4) * 0.05,
+            n_servers=2, ckpt_replication=2,
+        )
+        run = build_run(sim, spec, bench.make_app(4), name="storage-probe")
+        run.start()
+        run.schedule_server_kill(0, 2.4)
+        run.schedule_node_kill(1, 2.8)
+        sim.run_until_complete(run.completed, limit=1e8)
+        assert run.stats.restarts == 1
+        path = str(tmp_path / f"storage-{attempt}.jsonl")
+        assert dump_jsonl(sim.trace.records, path) > 0
+        paths.append(path)
+    with open(paths[0], "rb") as a, open(paths[1], "rb") as b:
+        assert a.read() == b.read()
+
+
 @pytest.mark.skipif(os.environ.get("REPRO_DETERMINISM") != "full",
                     reason="set REPRO_DETERMINISM=full for the figure sweep")
 @pytest.mark.parametrize("experiment_id", ["fig5", "fig6", "fig7"])
