@@ -49,6 +49,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--no-monitors", action="store_true",
                         help="skip the online invariant monitors "
                              "(faster, weaker wrong-result detection)")
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="run scenarios on an N-worker process pool "
+                             "(default: the REPRO_JOBS environment "
+                             "variable, else sequential); the report is "
+                             "identical either way")
     return parser
 
 
@@ -77,7 +82,7 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     print(f"chaos campaign {campaign.name!r}: {len(campaign)} scenarios")
     outcome = run_campaign(campaign, monitors=not args.no_monitors,
-                           progress=progress)
+                           progress=progress, jobs=args.jobs)
     json_path, md_path = write_report(outcome, args.out)
     elapsed = time.monotonic() - started
     counts = ", ".join(f"{v}={n}" for v, n in outcome.counts().items())

@@ -11,14 +11,15 @@ engine's stall exceptions — is mapped onto the verdict taxonomy (see
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.apps import BENCHMARKS
 from repro.chaos.report import CampaignResult
 from repro.chaos.spec import CampaignSpec, Scenario
 from repro.ft import StorageUnrecoverableError
 from repro.harness.config import SMOKE
-from repro.harness.runner import _monitor_verdicts, execute
+from repro.harness.parallel import pool_imap
+from repro.harness.runner import execute
 from repro.sim import DeadlockError, LivelockError, TimeLimitError
 from repro.verify import InvariantViolation
 
@@ -54,6 +55,9 @@ class ScenarioResult:
     monitors_ok: Optional[bool] = None
     #: final per-rank application state (empty when unavailable)
     app_state: List[dict] = field(default_factory=list)
+    #: engine heap pops of the run (0 when the run never finished); kept out
+    #: of :meth:`to_dict` — wall-dependent-free but also not a verdict
+    events: int = 0
 
     @property
     def ok(self) -> bool:
@@ -173,11 +177,6 @@ def run_scenario(
     except Exception as error:  # noqa: BLE001 - any crash is a verdict
         return ScenarioResult(scenario, "crash",
                               detail=f"{type(error).__name__}: {error}")
-    finally:
-        # The monitor verdict reaches the caller through the ScenarioResult;
-        # don't leave a copy in the harness' figure-oriented accumulator
-        # (drained by figure wrappers, not by chaos campaigns).
-        _monitor_verdicts.pop(scenario.label, None)
     wrong = _check_result(scenario, bench, result)
     if wrong is not None:
         verdict, detail = "wrong-result", wrong
@@ -202,20 +201,36 @@ def run_scenario(
         restarts=result.stats.restarts,
         monitors_ok=result.monitors_ok,
         app_state=result.meta.get("app_state", []),
+        events=int(result.meta.get("events", 0)),
     )
+
+
+def _scenario_task(args: Tuple[Scenario, float, bool]) -> ScenarioResult:
+    """Top-level pool worker: one scenario (picklable by name)."""
+    scenario, time_limit_factor, monitors = args
+    return run_scenario(scenario, monitors=monitors,
+                        time_limit_factor=time_limit_factor)
 
 
 def run_campaign(
     spec: CampaignSpec,
     monitors: bool = True,
     progress: Optional[Callable[[ScenarioResult], None]] = None,
+    jobs: Optional[int] = None,
 ) -> CampaignResult:
     """Run every scenario of ``spec`` in order; never raises per-scenario
-    (failures become verdicts).  ``progress`` is called after each run."""
+    (failures become verdicts).  ``progress`` is called after each run.
+
+    ``jobs`` (default: the ``REPRO_JOBS`` environment variable, else 1)
+    runs scenarios on a process pool.  Every scenario is an independent,
+    self-seeded simulation, so the campaign result is identical to the
+    sequential one — results are merged back in spec order, and
+    ``progress`` fires in spec order from the parent process.
+    """
+    tasks = [(scenario, spec.time_limit_factor, monitors)
+             for scenario in spec]
     results = []
-    for scenario in spec:
-        result = run_scenario(scenario, monitors=monitors,
-                              time_limit_factor=spec.time_limit_factor)
+    for result in pool_imap(_scenario_task, tasks, jobs=jobs):
         results.append(result)
         if progress is not None:
             progress(result)

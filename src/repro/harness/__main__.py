@@ -11,6 +11,7 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 
@@ -37,7 +38,17 @@ def main(argv=None) -> int:
     parser.add_argument("--no-save", action="store_true")
     parser.add_argument("--list", action="store_true",
                         help="list experiment ids and exit")
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="run each figure's grid of independent runs "
+                             "on an N-worker process pool (default: the "
+                             "REPRO_JOBS environment variable, else "
+                             "sequential); results are identical either "
+                             "way")
     args = parser.parse_args(argv)
+    if args.jobs is not None:
+        # Figure modules read REPRO_JOBS through execute_grid, so the flag
+        # needs no per-figure plumbing.
+        os.environ["REPRO_JOBS"] = str(args.jobs)
 
     if args.list or not args.experiments:
         for experiment_id in EXPERIMENT_IDS:

@@ -39,11 +39,11 @@ def get_experiment(experiment_id: str) -> Callable:
     module = import_module(f"repro.harness.figures.{experiment_id}")
 
     def run_with_monitors(profile):
-        from repro.harness.runner import drain_monitor_verdicts
+        from repro.harness.runner import monitor_ledger
 
-        drain_monitor_verdicts()  # drop leftovers of earlier figures
-        result = module.run(profile)
-        verdicts = drain_monitor_verdicts()
+        with monitor_ledger() as ledger:
+            result = module.run(profile)
+        verdicts = ledger.verdicts
         result.monitors = verdicts
         dirty = sorted(
             name for name, verdict in verdicts.items() if not verdict["ok"]

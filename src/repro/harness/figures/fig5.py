@@ -19,8 +19,8 @@ from __future__ import annotations
 
 from repro.apps import BT
 from repro.harness.config import Profile
+from repro.harness.parallel import execute_grid
 from repro.harness.report import FigureResult, Series
-from repro.harness.runner import execute
 
 __all__ = ["run"]
 
@@ -28,16 +28,18 @@ __all__ = ["run"]
 def run(profile: Profile) -> FigureResult:
     bench = BT(klass="B", scale=profile.time_scale)
     p = profile.fig5_procs
-    results = {"pcl": [], "vcl": []}
-    for protocol in ("pcl", "vcl"):
-        for n_servers in profile.fig5_servers:
-            results[protocol].append(execute(
-                bench, p, protocol, profile,
-                n_servers=n_servers,
-                period=profile.fig5_period,
-                procs_per_node=2,
-                name=f"fig5-{protocol}-s{n_servers}",
-            ))
+    tasks = [
+        dict(bench=bench, n_procs=p, protocol=protocol, profile=profile,
+             n_servers=n_servers,
+             period=profile.fig5_period,
+             procs_per_node=2,
+             name=f"fig5-{protocol}-s{n_servers}")
+        for protocol in ("pcl", "vcl")
+        for n_servers in profile.fig5_servers
+    ]
+    grid = execute_grid(tasks)
+    per_protocol = len(profile.fig5_servers)
+    results = {"pcl": grid[:per_protocol], "vcl": grid[per_protocol:]}
 
     servers = list(profile.fig5_servers)
     pcl_times = [r.completion for r in results["pcl"]]

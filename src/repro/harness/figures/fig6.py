@@ -23,8 +23,8 @@ from typing import Dict, List, Tuple
 
 from repro.apps import BT
 from repro.harness.config import Profile
+from repro.harness.parallel import execute_grid
 from repro.harness.report import FigureResult, Series
-from repro.harness.runner import execute
 
 __all__ = ["run"]
 
@@ -41,23 +41,33 @@ def run(profile: Profile) -> FigureResult:
     bench = BT(klass="B", scale=profile.time_scale)
     sizes = [p for p in profile.fig6_sizes]
 
-    baselines: Dict[str, List[float]] = {"ft_sock": [], "ch_v": []}
-    times: Dict[Tuple[str, float], List[float]] = {}
+    tasks = []
+    keys: List[Tuple[str, object, int]] = []
     for p in sizes:
         deploy = _deployment(p, profile)
         for channel in ("ft_sock", "ch_v"):
-            result = execute(bench, p, None, profile, channel=channel,
-                             n_servers=profile.fig6_servers,
-                             name=f"fig6-base-{channel}-p{p}", **deploy)
-            baselines[channel].append(result.completion)
+            tasks.append(dict(bench=bench, n_procs=p, protocol=None,
+                              profile=profile, channel=channel,
+                              n_servers=profile.fig6_servers,
+                              name=f"fig6-base-{channel}-p{p}", **deploy))
+            keys.append(("base", channel, p))
         for protocol in ("pcl", "vcl"):
             for period in profile.fig6_periods:
-                result = execute(bench, p, protocol, profile,
-                                 n_servers=profile.fig6_servers,
-                                 period=period,
-                                 name=f"fig6-{protocol}-p{p}-t{period}",
-                                 **deploy)
-                times.setdefault((protocol, period), []).append(result.completion)
+                tasks.append(dict(bench=bench, n_procs=p, protocol=protocol,
+                                  profile=profile,
+                                  n_servers=profile.fig6_servers,
+                                  period=period,
+                                  name=f"fig6-{protocol}-p{p}-t{period}",
+                                  **deploy))
+                keys.append(("ckpt", (protocol, period), p))
+
+    baselines: Dict[str, List[float]] = {"ft_sock": [], "ch_v": []}
+    times: Dict[Tuple[str, float], List[float]] = {}
+    for (kind, key, _p), result in zip(keys, execute_grid(tasks)):
+        if kind == "base":
+            baselines[key].append(result.completion)
+        else:
+            times.setdefault(key, []).append(result.completion)
 
     series = [
         Series("no-ckpt mpich2", sizes, baselines["ft_sock"]),

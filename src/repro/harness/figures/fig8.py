@@ -20,8 +20,8 @@ from typing import Dict, List, Tuple
 
 from repro.apps import CG
 from repro.harness.config import Profile
+from repro.harness.parallel import execute_grid
 from repro.harness.report import FigureResult, Series
-from repro.harness.runner import execute
 from repro.tools import linear_fit
 
 __all__ = ["run"]
@@ -31,21 +31,29 @@ def run(profile: Profile) -> FigureResult:
     bench = CG(klass="C", scale=profile.time_scale)
     nodes = profile.fig8_nodes
 
-    series: List[Series] = []
-    fits = {}
-    finals: Dict[int, float] = {}
+    tasks = []
     for p in profile.fig8_procs:
         per_node = 2 if p > nodes else 1
         deploy = dict(network="myrinet", channel="nemesis",
                       procs_per_node=per_node,
                       n_compute_nodes=min(nodes, -(-p // per_node)),
                       n_servers=2)
-        baseline = execute(bench, p, None, profile,
-                           name=f"fig8-p{p}-base", **deploy)
-        pts: List[Tuple[int, float]] = [(0, baseline.completion)]
+        tasks.append(dict(bench=bench, n_procs=p, protocol=None,
+                          profile=profile, name=f"fig8-p{p}-base", **deploy))
         for period in profile.fig8_periods:
-            result = execute(bench, p, "pcl", profile, period=period,
-                             name=f"fig8-p{p}-t{period}", **deploy)
+            tasks.append(dict(bench=bench, n_procs=p, protocol="pcl",
+                              profile=profile, period=period,
+                              name=f"fig8-p{p}-t{period}", **deploy))
+    grid = iter(execute_grid(tasks))
+
+    series: List[Series] = []
+    fits = {}
+    finals: Dict[int, float] = {}
+    for p in profile.fig8_procs:
+        baseline = next(grid)
+        pts: List[Tuple[int, float]] = [(0, baseline.completion)]
+        for _period in profile.fig8_periods:
+            result = next(grid)
             pts.append((result.waves, result.completion))
         pts.sort()
         xs = [float(w) for w, _t in pts]

@@ -7,8 +7,9 @@ every figure measures the same way.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Sequence, Tuple, Union
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.apps.base import NASBenchmark
 from repro.ft.protocol import FTStats
@@ -17,20 +18,54 @@ from repro.runtime import DeploymentSpec, build_run
 from repro.sim import Simulator, Watchdog
 from repro.verify import MonitorBus, all_monitors
 
-__all__ = ["RunResult", "execute", "default_channel", "drain_monitor_verdicts"]
+__all__ = [
+    "RunResult",
+    "execute",
+    "default_channel",
+    "MonitorLedger",
+    "monitor_ledger",
+    "record_monitor_verdict",
+]
 
-#: per-experiment monitor verdicts accumulated by :func:`execute` (keyed by
-#: the experiment ``name``); the figure wrapper drains this into the
-#: figure's JSON so every result records whether its runs were clean
-_monitor_verdicts: Dict[str, Dict] = {}
+
+class MonitorLedger:
+    """Scoped collector of per-run monitor verdicts, keyed by run ``name``.
+
+    :func:`execute` records each monitored run's verdict into the innermost
+    active ledger (opened with :func:`monitor_ledger`) — and nowhere when
+    no ledger is open.  This replaces a module-global accumulator that
+    leaked verdicts across unrelated runs and could not work under
+    process-pool execution (workers re-record into the parent's ledger via
+    :func:`record_monitor_verdict`; see :mod:`repro.harness.parallel`).
+    """
+
+    def __init__(self) -> None:
+        self.verdicts: Dict[str, Dict] = {}
+
+    def record(self, name: str, verdict: Dict) -> None:
+        self.verdicts[name] = verdict
 
 
-def drain_monitor_verdicts() -> Dict[str, Dict]:
-    """Return and clear the verdicts of every monitored run since the last
-    drain."""
-    drained = dict(_monitor_verdicts)
-    _monitor_verdicts.clear()
-    return drained
+#: innermost-active-last stack of open ledgers (scoped, not leaked: each
+#: ``monitor_ledger()`` block removes its ledger on exit)
+_ledger_stack: List[MonitorLedger] = []
+
+
+@contextmanager
+def monitor_ledger() -> Iterator[MonitorLedger]:
+    """Collect the monitor verdicts of every :func:`execute` in the block."""
+    ledger = MonitorLedger()
+    _ledger_stack.append(ledger)
+    try:
+        yield ledger
+    finally:
+        _ledger_stack.remove(ledger)
+
+
+def record_monitor_verdict(name: str, verdict: Dict) -> None:
+    """Record one run's monitor verdict into the active ledger (if any)."""
+    if _ledger_stack:
+        _ledger_stack[-1].record(name, verdict)
 
 
 def default_channel(protocol: Optional[str], network: str) -> str:
@@ -179,8 +214,9 @@ def execute(
             raise ValueError(f"unknown storage fault {kind!r} "
                              f"(server_kill or image_corrupt)")
     completion = sim.run_until_complete(run.completed, limit=time_limit)
-    meta = {"network": network, "n_servers": n_servers,
-            "profile": profile.name, "bench": bench.describe(n_procs)}
+    meta = {"name": name, "network": network, "n_servers": n_servers,
+            "profile": profile.name, "bench": bench.describe(n_procs),
+            "events": sim.events_processed}
     # Final per-rank application state, for result-correctness checks (the
     # chaos campaign's wrong-result verdict compares this to the benchmark's
     # expected iteration count and residual).
@@ -193,7 +229,7 @@ def execute(
         bus.finish()
         bus.detach()
         meta["monitors"] = {"ok": bus.ok, "verdicts": bus.verdicts()}
-        _monitor_verdicts[name] = meta["monitors"]
+        record_monitor_verdict(name, meta["monitors"])
     return RunResult(
         completion=completion,
         waves=run.stats.waves_completed,

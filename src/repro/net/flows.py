@@ -13,12 +13,20 @@ deterministic and captures the contention effects the paper's experiments
 depend on (checkpoint image transfers competing with MPI traffic on NICs and
 WAN uplinks).
 
-Completions are driven by generation-checked timer callbacks, so rescheduling
-a flow is O(1) and stale timers are simply ignored.
+Completions are driven by cancellable engine timers
+(:class:`~repro.sim.engine.TimerHandle`): each active flow owns at most one
+finish timer, and every re-rate cancels and re-arms it in O(1) — the fresh
+heap sequence number each re-arm takes is part of the deterministic event
+total order, so a "keep the live timer when the fire time is unchanged"
+shortcut is deliberately *not* taken (see ``_schedule_finish``).  Per-link
+flow membership is an insertion-ordered dict, already sorted by creation
+index, so the re-rate pass merges neighbour lists instead of re-sorting
+them.
 """
 
 from __future__ import annotations
 
+import heapq
 import math
 import operator
 from typing import Iterable, List, Optional, Sequence, Set
@@ -50,14 +58,14 @@ class Flow:
         "done",
         "finished",
         "cancelled",
-        "_generation",
+        "_timer",
         "index",
     )
 
     def __init__(self, links: Sequence[Link], nbytes: float, cap: Optional[float], done) -> None:
         self.links = tuple(links)
         #: scheduler-assigned creation index; the deterministic iteration
-        #: key wherever flows are collected in (identity-hashed) sets
+        #: key wherever flows are collected across links
         self.index = 0
         self.bytes_total = float(nbytes)
         self.bytes_remaining = float(nbytes)
@@ -67,7 +75,8 @@ class Flow:
         self.done = done
         self.finished = False
         self.cancelled = False
-        self._generation = 0
+        #: the live finish timer (a TimerHandle), or None
+        self._timer = None
 
     @property
     def active(self) -> bool:
@@ -114,10 +123,13 @@ class FlowScheduler:
         for other in affected:
             self._settle(other, now)
         for link in flow.links:
-            link.flows.add(flow)
+            link.flows[flow] = None
         flow.last_settle = now
         self.active.add(flow)
-        self._rerate(affected | {flow})
+        # The new flow carries the highest index, so appending keeps the
+        # list in creation-index order.
+        affected.append(flow)
+        self._rerate(affected)
         return flow
 
     # ---------------------------------------------------------------- cancel
@@ -132,11 +144,26 @@ class FlowScheduler:
             flow.done.fail(FlowCancelled("flow cancelled"))
 
     # -------------------------------------------------------------- internals
-    def _neighbours(self, links: Iterable[Link]) -> Set[Flow]:
-        affected: Set[Flow] = set()
-        for link in links:
-            affected |= link.flows
-        return affected
+    def _neighbours(self, links: Iterable[Link]) -> List[Flow]:
+        """Flows sharing any of ``links``, ascending creation index.
+
+        Each link's flow dict is already in ascending index order (flows
+        join links only at creation, with a fresh highest index, and dicts
+        preserve insertion order across deletions), so a k-way merge with
+        adjacent dedup replaces the old sort over a set union.
+        """
+        streams = [link.flows for link in links if link.flows]
+        if not streams:
+            return []
+        if len(streams) == 1:
+            return list(streams[0])
+        merged: List[Flow] = []
+        last: Optional[Flow] = None
+        for flow in heapq.merge(*streams, key=_flow_index):
+            if flow is not last:
+                merged.append(flow)
+                last = flow
+        return merged
 
     def _settle(self, flow: Flow, now: float) -> None:
         if flow.rate > 0.0:
@@ -154,20 +181,22 @@ class FlowScheduler:
         return rate
 
     def _rerate(self, flows: Iterable[Flow]) -> None:
-        # Sorted by creation index: flows live in identity-hashed sets whose
-        # iteration order varies run to run, but _schedule_finish assigns
-        # event seq numbers — same-instant completions must tie-break the
-        # same way every run or traces stop being reproducible.
-        for flow in sorted(flows, key=_flow_index):
+        # ``flows`` arrives in creation-index order (see _neighbours): the
+        # order finish timers are (re)armed assigns event seq numbers, and
+        # same-instant completions must tie-break the same way every run or
+        # traces stop being reproducible.
+        for flow in flows:
             if not flow.active:
                 continue
             flow.rate = self._rate_of(flow)
             self._schedule_finish(flow)
 
     def _schedule_finish(self, flow: Flow) -> None:
-        flow._generation += 1
-        generation = flow._generation
+        timer = flow._timer
         if flow.rate <= 0.0:  # pragma: no cover - capacities are positive
+            if timer is not None:
+                timer.cancel()
+                flow._timer = None
             return
         remaining = max(flow.bytes_remaining, 0.0) / flow.rate
         now = self.sim.now
@@ -179,11 +208,25 @@ class FlowScheduler:
             # the Pcl procs_per_node=2 livelock.  Round the delay up to one
             # ulp so the clock advances and the settle drains the residue.
             remaining = math.nextafter(now, math.inf) - now
-        self.sim.call_at(remaining, self._on_timer, flow, generation)
+        # Always cancel and re-arm, even when the recomputed fire time is
+        # unchanged: the finish timer's heap sequence number is part of the
+        # deterministic total order (same-instant completions tie-break on
+        # it), and the pre-TimerHandle kernel re-armed on every re-rate.
+        # Keeping a live timer would freeze its old sequence number and
+        # reorder same-timestamp events — observable as last-ulp drift in
+        # figure rows.  Cancellation is O(1) and the tombstone is discarded
+        # without event dispatch, so re-arming is still far cheaper than the
+        # old abandoned-Timeout scheme.
+        if timer is not None:
+            timer.cancel()
+        flow._timer = self.sim.call_at(
+            remaining, self._on_timer, flow, name="flow-finish"
+        )
 
-    def _on_timer(self, flow: Flow, generation: int) -> None:
-        if not flow.active or flow._generation != generation:
-            return  # stale timer
+    def _on_timer(self, flow: Flow) -> None:
+        flow._timer = None
+        if not flow.active:  # pragma: no cover - cancel() cancels the timer
+            return
         now = self.sim.now
         self._settle(flow, now)
         if flow.bytes_remaining <= _EPSILON_BYTES:
@@ -196,10 +239,13 @@ class FlowScheduler:
 
     def _detach(self, flow: Flow) -> None:
         self.active.discard(flow)
-        affected: Set[Flow] = set()
+        timer = flow._timer
+        if timer is not None:
+            timer.cancel()
+            flow._timer = None
         for link in flow.links:
-            link.flows.discard(flow)
-            affected |= link.flows
+            link.flows.pop(flow, None)
+        affected = self._neighbours(flow.links)
         now = self.sim.now
         for other in affected:
             self._settle(other, now)

@@ -7,7 +7,7 @@ and its capacity.  Rate arithmetic lives in
 
 from __future__ import annotations
 
-from typing import Optional, Set
+from typing import Dict
 
 __all__ = ["Link"]
 
@@ -17,6 +17,12 @@ class Link:
 
     Capacity is split evenly among the flows crossing the link (fair-share
     fluid model, see :mod:`repro.net.flows`).
+
+    ``flows`` is an insertion-ordered dict used as an ordered set: flows
+    only ever join a link at creation time, with a monotonically increasing
+    creation index, so iteration yields flows in ascending index order —
+    the deterministic order the scheduler's re-rate pass needs — without
+    sorting.
     """
 
     __slots__ = ("name", "capacity", "flows")
@@ -26,7 +32,7 @@ class Link:
             raise ValueError(f"link {name!r}: capacity must be positive")
         self.name = name
         self.capacity = float(capacity)
-        self.flows: Set["Flow"] = set()
+        self.flows: Dict["Flow", None] = {}
 
     @property
     def n_flows(self) -> int:

@@ -1,0 +1,221 @@
+"""The measured workload suite behind ``python -m repro.perf``.
+
+Each workload is a deterministic, self-contained simulation whose cost is
+dominated by one layer of the stack the figures depend on:
+
+* ``flow_churn`` — the event kernel + fluid-flow scheduler under heavy
+  neighbour churn: a pool of cap-bottlenecked background flows sharing a
+  backbone link with a stream of short uncapped transfers (the Fig. 5
+  regime: checkpoint image transfers crossing a contended NIC).  Every
+  start/finish re-rates the whole neighbourhood, so this is the microbench
+  that exposes the per-re-rate timer cost.
+* ``netpipe`` — the ping-pong calibration sweep over the Grid'5000 model
+  (message layer + WAN fabrics).
+* ``bt_wave`` — one harness-style run: BT under Pcl with checkpoint waves,
+  monitors on, exactly like a figure grid point.
+* ``scale_337`` — the paper's scale boundary: an FTPM launch of 337
+  processes (the count the Vcl dispatcher refuses, see Sec. 5.4) running a
+  token ring, measuring the process/connection fan-out cost.
+* ``chaos_kill`` — one smoke-grid chaos scenario (node kill inside wave 1,
+  rollback, restart) through :func:`repro.chaos.run_scenario`.
+
+Workloads report ``events`` — a *workload-defined* useful-event count
+(flow completions, messages, engine pops; fixed for fixed parameters) — so
+``events/sec`` ratios between two kernels equal their wall-time speedup
+rather than rewarding a kernel for popping its own dead timers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Tuple
+
+__all__ = ["WorkloadRun", "WORKLOADS", "SUITES", "suite_params"]
+
+
+@dataclass
+class WorkloadRun:
+    """What one workload execution observed (wall time is measured outside)."""
+
+    #: workload-defined useful events (fixed for fixed parameters)
+    events: int
+    #: engine heap pops, when a simulator was observable
+    pops: int = 0
+    #: workload-specific scalars worth keeping in the bench JSON
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+
+# --------------------------------------------------------------------- kernel
+def flow_churn(churn: int = 400, persistent: int = 64,
+               cancel_every: int = 7) -> WorkloadRun:
+    """Kernel/flow-scheduler microbench: neighbour churn on a shared link.
+
+    ``persistent`` long-lived flows cross a backbone at a hard cap far below
+    their fair share — their rate never changes, but every churn event still
+    re-rates them.  ``churn`` short uncapped flows start staggered on the
+    same backbone; every ``cancel_every``-th one is cancelled mid-flight.
+    """
+    from repro.net.flows import FlowScheduler
+    from repro.net.link import Link
+    from repro.sim import Simulator
+
+    sim = Simulator(seed=7)
+    scheduler = FlowScheduler(sim)
+    backbone = Link("backbone", 1e9)
+
+    completions = 0
+
+    def on_done(event) -> None:
+        nonlocal completions
+        if event.ok:
+            completions += 1
+
+    # Cap-bottlenecked background pool: rate pinned well below any share the
+    # backbone can offer while churn flows come and go.
+    cap = backbone.capacity / (4.0 * persistent)
+    for i in range(persistent):
+        private = Link(f"p{i}", 1e9)
+        flow = scheduler.start([private, backbone], nbytes=4e7, cap=cap)
+        flow.done.callbacks.append(on_done)
+
+    # Staggered churn: short transfers whose rate is the backbone share.
+    dt = 0.01
+    churn_bytes = backbone.capacity / (persistent + 2) * (dt * 0.6)
+
+    def start_churn(index: int) -> None:
+        flow = scheduler.start([backbone], nbytes=churn_bytes)
+        flow.done.callbacks.append(on_done)
+        if cancel_every and index % cancel_every == cancel_every - 1:
+            sim.call_at(dt * 0.3, scheduler.cancel, flow)
+
+    for i in range(churn):
+        sim.call_at(i * dt, start_churn, i)
+
+    sim.run()
+    assert not scheduler.active, "flow_churn must drain every flow"
+    return WorkloadRun(
+        events=completions,
+        pops=sim.events_processed,
+        extra={"churn": churn, "persistent": persistent,
+               "heap_peak_hint": len(sim._heap)},
+    )
+
+
+# -------------------------------------------------------------------- netpipe
+def netpipe(repeats: int = 3) -> WorkloadRun:
+    """The NetPIPE calibration sweep, intra- and inter-cluster."""
+    from repro.net import grid5000
+    from repro.net.topology import Endpoint
+    from repro.sim import Simulator
+    from repro.tools import run_netpipe
+
+    sim = Simulator(seed=3)
+    grid = grid5000(sim)
+    orsay = grid.clusters["orsay"].nodes
+    rennes = grid.clusters["rennes"].nodes
+    intra = run_netpipe(sim, grid, Endpoint(orsay[0], 0),
+                        Endpoint(orsay[1], 0), repeats=repeats)
+    inter = run_netpipe(sim, grid, Endpoint(orsay[2], 0),
+                        Endpoint(rennes[0], 0), repeats=repeats)
+    return WorkloadRun(
+        events=sim.events_processed,
+        pops=sim.events_processed,
+        extra={"samples": len(intra) + len(inter)},
+    )
+
+
+# -------------------------------------------------------------------- bt wave
+def bt_wave(n_procs: int = 16, scale: float = 0.05) -> WorkloadRun:
+    """One figure-style grid point: BT under Pcl with checkpoint waves."""
+    from repro.apps import BT
+    from repro.harness.config import get_profile
+    from repro.harness.runner import execute
+
+    profile = get_profile("smoke", seed=0)
+    bench = BT(klass="B", scale=scale)
+    result = execute(bench, n_procs, "pcl", profile, period=30.0,
+                     procs_per_node=2, name="perf-bt-wave")
+    pops = int(result.meta.get("events", 0))
+    return WorkloadRun(
+        events=pops,
+        pops=pops,
+        extra={"completion": result.completion, "waves": result.waves},
+    )
+
+
+# ---------------------------------------------------------------- scale point
+def scale_337(n_procs: int = 337, rounds: int = 2) -> WorkloadRun:
+    """FTPM launch at the select() wall: 337 processes, token ring.
+
+    The Vcl dispatcher refuses this count (1024-descriptor select() set,
+    3 sockets/process); FTPM admits it.  The cost is process spawn plus the
+    connection fan-out — the launch-layer hot path of the grid figures.
+    """
+    from repro.apps.synthetic import token_ring
+    from repro.runtime import DeploymentSpec, build_run
+    from repro.sim import Simulator
+
+    sim = Simulator(seed=11)
+    spec = DeploymentSpec(n_procs=n_procs, protocol=None, launcher="ftpm",
+                          procs_per_node=2)
+    run = build_run(sim, spec, token_ring(rounds=rounds), name="perf-scale")
+    run.start()
+    sim.run_until_complete(run.completed, limit=1e8)
+    return WorkloadRun(
+        events=sim.events_processed,
+        pops=sim.events_processed,
+        extra={"n_procs": n_procs, "rounds": rounds},
+    )
+
+
+# ------------------------------------------------------------------ chaos run
+def chaos_kill() -> WorkloadRun:
+    """One smoke-grid chaos scenario: node kill inside wave 1, recovery."""
+    from repro.chaos import Scenario, run_scenario
+
+    scenario = Scenario(protocol="pcl", channel="ft_sock", procs_per_node=2,
+                        kill="node", victim=1, kill_time=1.7, seed=0)
+    result = run_scenario(scenario)
+    # The scenario is fixed, so its verdict doubles as a sanity check.
+    ok = result.verdict in ("recovered", "completed")
+    return WorkloadRun(
+        events=result.events,
+        pops=result.events,
+        extra={"verdict": result.verdict, "ok": ok,
+               "completion": result.completion},
+    )
+
+
+#: name -> workload callable (keyword-parameterised by the suite)
+WORKLOADS: Dict[str, Callable[..., WorkloadRun]] = {
+    "flow_churn": flow_churn,
+    "netpipe": netpipe,
+    "bt_wave": bt_wave,
+    "scale_337": scale_337,
+    "chaos_kill": chaos_kill,
+}
+
+#: per-suite parameter overrides; ``smoke`` is CI-sized, ``full`` the default
+SUITES: Dict[str, Dict[str, Dict[str, Any]]] = {
+    "smoke": {
+        "flow_churn": {"churn": 200, "persistent": 48},
+        "netpipe": {"repeats": 2},
+        "bt_wave": {"n_procs": 16, "scale": 0.05},
+        "scale_337": {"n_procs": 337, "rounds": 1},
+        "chaos_kill": {},
+    },
+    "full": {
+        "flow_churn": {"churn": 400, "persistent": 64},
+        "netpipe": {"repeats": 3},
+        "bt_wave": {"n_procs": 36, "scale": 0.05},
+        "scale_337": {"n_procs": 337, "rounds": 2},
+        "chaos_kill": {},
+    },
+}
+
+
+def suite_params(suite: str) -> Dict[str, Dict[str, Any]]:
+    """Parameter map for ``suite`` (raises ``KeyError`` for unknown names)."""
+    if suite not in SUITES:
+        raise KeyError(f"unknown perf suite {suite!r}; have {sorted(SUITES)}")
+    return SUITES[suite]

@@ -24,6 +24,7 @@ from repro.sim.engine import (
     SimulationError,
     Simulator,
     TimeLimitError,
+    TimerHandle,
     Watchdog,
 )
 from repro.sim.events import (
@@ -53,6 +54,7 @@ __all__ = [
     "Simulator",
     "Store",
     "TimeLimitError",
+    "TimerHandle",
     "Timeout",
     "Watchdog",
     "TraceRecord",

@@ -1,9 +1,19 @@
 """The simulation event loop.
 
 :class:`Simulator` owns the clock and the event heap.  Heap entries are
-``(time, priority, sequence, event)`` tuples; the monotonically increasing
+``(time, priority, sequence, item)`` tuples; the monotonically increasing
 sequence number makes the order a deterministic total order, which is the
 backbone of the reproducibility guarantees the benchmark harness relies on.
+An item is either an :class:`~repro.sim.events.Event` or a
+:class:`TimerHandle` — a cancellable scheduled callback returned by
+:meth:`Simulator.call_at`.
+
+Cancellation is lazy: a cancelled handle becomes a *tombstone* that the
+loop discards when it surfaces at the heap top (never advancing the clock,
+never feeding the watchdog or step listeners), and the heap is compacted in
+place once tombstones outnumber live entries — so hot re-rate paths like
+the flow scheduler can cancel-and-reschedule without growing the heap by
+one dead entry per neighbourhood change.
 
 The optional :class:`Watchdog` turns the two ways a discrete-event program
 can stall — a zero-time event cascade that never advances the clock, and a
@@ -29,6 +39,7 @@ __all__ = [
     "DeadlockError",
     "TimeLimitError",
     "LivelockError",
+    "TimerHandle",
     "Watchdog",
     "DEFAULT_MAX_SAME_TIME_EVENTS",
 ]
@@ -43,6 +54,54 @@ DEFAULT_MAX_SAME_TIME_EVENTS = 100_000
 
 class SimulationError(RuntimeError):
     """Raised for misuse of the simulation kernel (e.g. time travel)."""
+
+
+class TimerHandle:
+    """A scheduled callback that can be cancelled in O(1).
+
+    Returned by :meth:`Simulator.call_at`.  :meth:`cancel` marks the handle
+    a tombstone; the heap entry stays where it is and is discarded lazily
+    (see the module docstring).  A cancelled handle's callback is
+    guaranteed never to run.
+    """
+
+    __slots__ = ("sim", "time", "callback", "args", "name", "cancelled")
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        time: float,
+        callback: Callable[..., None],
+        args: Tuple[Any, ...],
+        name: Optional[str],
+    ) -> None:
+        self.sim = sim
+        self.time = time
+        self.callback = callback
+        self.args = args
+        self.name = name
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from running (idempotent)."""
+        if not self.cancelled:
+            self.cancelled = True
+            self.sim._note_tombstone()
+
+    def _process(self) -> None:
+        self.callback(*self.args)
+
+    def describe(self) -> str:
+        """Diagnostic label for watchdog reports; resolves the callback's
+        qualified name lazily so the hot scheduling path never pays for it."""
+        if self.name:
+            return self.name
+        target = getattr(self.callback, "__qualname__", None)
+        return f"call:{target}" if target else "timer"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"<TimerHandle {self.describe()} t={self.time!r} {state}>"
 
 
 class DeadlockError(SimulationError):
@@ -219,11 +278,14 @@ class Watchdog:
 
     @staticmethod
     def _waiting_report(sim: "Simulator", limit: int = 12) -> Tuple[str, ...]:
-        head = heapq.nsmallest(limit, sim._heap)
+        # Over-sample so tombstones (cancelled timers awaiting lazy
+        # discard) don't crowd live waiters out of the report.
+        head = heapq.nsmallest(limit * 4, sim._heap)
         return tuple(
             f"t={entry_time!r} prio={priority} seq={seq} {event.describe()}"
             for entry_time, priority, seq, event in head
-        )
+            if not event.cancelled
+        )[:limit]
 
 
 class Simulator:
@@ -242,6 +304,10 @@ class Simulator:
         whichever ``run`` variant is driving the loop.
     """
 
+    #: tombstone count below which compaction never triggers (a tiny heap
+    #: dominated by tombstones is not worth a heapify)
+    COMPACT_MIN_TOMBSTONES = 64
+
     def __init__(
         self,
         seed: int = 0,
@@ -251,6 +317,8 @@ class Simulator:
         self._now = 0.0
         self._heap: List[Tuple[float, int, int, Event]] = []
         self._seq = 0
+        self._events_processed = 0
+        self._tombstones = 0
         self.rng = RngRegistry(seed)
         self.trace = trace if trace is not None else Tracer(enabled=False)
         self._watchdog = watchdog
@@ -260,6 +328,11 @@ class Simulator:
     def now(self) -> float:
         """Current simulated time in seconds."""
         return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Total heap pops processed so far (the `repro.perf` denominator)."""
+        return self._events_processed
 
     # ------------------------------------------------------------- watchdog
     @property
@@ -304,20 +377,20 @@ class Simulator:
         callback: Callable[..., None],
         *args: Any,
         name: Optional[str] = None,
-    ) -> Event:
+    ) -> TimerHandle:
         """Run ``callback(*args)`` after ``delay`` seconds.
 
-        Returns the underlying timeout event (useful for cancellation by
-        removing the callback).  Unnamed timers take the callback's
-        qualified name so watchdog reports point at the scheduling code.
+        Returns a :class:`TimerHandle` whose :meth:`~TimerHandle.cancel`
+        guarantees the callback never runs.  This is the cheap path for
+        scheduled callbacks: no :class:`~repro.sim.events.Event`, no
+        closure, one heap entry.
         """
-        if name is None:
-            target = getattr(callback, "__qualname__", None)
-            if target:
-                name = f"call:{target}"
-        event = self.timeout(delay, name=name)
-        event.callbacks.append(lambda _ev: callback(*args))
-        return event
+        if delay < 0:
+            raise SimulationError(f"cannot schedule {delay!r}s into the past")
+        self._seq += 1
+        handle = TimerHandle(self, self._now + delay, callback, args, name)
+        heapq.heappush(self._heap, (handle.time, NORMAL, self._seq, handle))
+        return handle
 
     # ----------------------------------------------------------------- queue
     def _push(self, event: Event, delay: float, priority: int = NORMAL) -> None:
@@ -326,32 +399,56 @@ class Simulator:
         self._seq += 1
         heapq.heappush(self._heap, (self._now + delay, priority, self._seq, event))
 
+    def _note_tombstone(self) -> None:
+        """Account one cancelled heap entry; compact when they dominate.
+
+        Compaction is in place (the heap list's identity is load-bearing:
+        the run loops hold a local binding) and deterministic — pop order
+        depends only on the entry tuples, not the heap's internal layout.
+        """
+        self._tombstones += 1
+        heap = self._heap
+        if (self._tombstones > self.COMPACT_MIN_TOMBSTONES
+                and self._tombstones * 2 > len(heap)):
+            heap[:] = [entry for entry in heap if not entry[3].cancelled]
+            heapq.heapify(heap)
+            self._tombstones = 0
+
     def peek(self) -> float:
-        """Time of the next event, or ``float('inf')`` when the heap is empty."""
-        return self._heap[0][0] if self._heap else float("inf")
+        """Time of the next live event, or ``float('inf')`` when empty."""
+        heap = self._heap
+        while heap and heap[0][3].cancelled:
+            heapq.heappop(heap)
+            self._tombstones -= 1
+        return heap[0][0] if heap else float("inf")
 
     def step(self) -> None:
-        """Process exactly one event."""
-        if not self._heap:
-            raise SimulationError("step() on an empty event heap")
-        time, priority, seq, event = heapq.heappop(self._heap)
-        if time < self._now:  # pragma: no cover - guarded by _push
-            raise SimulationError("event heap went backwards in time")
-        self._now = time
-        # The watchdog sees the event *before* its callbacks run, while the
-        # waiting processes are still attached — that is what makes the
-        # cycle report name who would have been resumed.
-        if self._watchdog is not None:
-            self._watchdog.observe(self, time, event)
-        # Online monitors observe the raw pop order through the tracer's
-        # step listeners (repro.verify's total-order invariant); the list is
-        # empty unless a monitor asked for it, so the idle cost is one
-        # attribute chain and a branch per event.
-        listeners = self.trace.step_listeners
-        if listeners:
-            for listener in listeners:
-                listener(time, priority, seq)
-        event._process()
+        """Process exactly one live event (tombstones are discarded)."""
+        heap = self._heap
+        while heap:
+            time, priority, seq, item = heapq.heappop(heap)
+            if item.cancelled:
+                self._tombstones -= 1
+                continue
+            if time < self._now:  # pragma: no cover - guarded by _push
+                raise SimulationError("event heap went backwards in time")
+            self._now = time
+            self._events_processed += 1
+            # The watchdog sees the event *before* its callbacks run, while
+            # the waiting processes are still attached — that is what makes
+            # the cycle report name who would have been resumed.
+            if self._watchdog is not None:
+                self._watchdog.observe(self, time, item)
+            # Online monitors observe the raw pop order through the tracer's
+            # step listeners (repro.verify's total-order invariant); the
+            # list is empty unless a monitor asked for it.
+            listeners = self.trace.step_listeners
+            if listeners:
+                for listener in listeners:
+                    listener(time, priority, seq)
+            item._process()
+            return
+        raise SimulationError("step() on an empty event heap")
 
     def run(self, until: Optional[float] = None) -> None:
         """Run until the heap drains or the clock reaches ``until``.
@@ -362,10 +459,30 @@ class Simulator:
         """
         if until is not None and until < self._now:
             raise SimulationError(f"until={until!r} is in the past (now={self._now!r})")
-        while self._heap:
-            if until is not None and self._heap[0][0] > until:
+        # Hot loop: locals for the heap, pop and listener list (all mutated
+        # in place, so the bindings stay live); the watchdog is re-read per
+        # pop because callbacks may legally arm or disarm it.
+        heap = self._heap
+        pop = heapq.heappop
+        listeners = self.trace.step_listeners
+        while heap:
+            time, priority, seq, item = heap[0]
+            if item.cancelled:
+                pop(heap)
+                self._tombstones -= 1
+                continue
+            if until is not None and time > until:
                 break
-            self.step()
+            pop(heap)
+            self._now = time
+            self._events_processed += 1
+            watchdog = self._watchdog
+            if watchdog is not None:
+                watchdog.observe(self, time, item)
+            if listeners:
+                for listener in listeners:
+                    listener(time, priority, seq)
+            item._process()
         if until is not None:
             self._now = max(self._now, until)
 
@@ -376,16 +493,32 @@ class Simulator:
         if the heap drains first, or :class:`TimeLimitError` when ``limit``
         is hit (both are :class:`SimulationError` subclasses).
         """
+        heap = self._heap
+        pop = heapq.heappop
+        listeners = self.trace.step_listeners
         while not event.processed:
-            if not self._heap:
+            while heap and heap[0][3].cancelled:
+                pop(heap)
+                self._tombstones -= 1
+            if not heap:
                 raise DeadlockError(
                     f"deadlock: event heap drained before {event!r} completed"
                 )
-            if limit is not None and self._heap[0][0] > limit:
+            time, priority, seq, item = heap[0]
+            if limit is not None and time > limit:
                 raise TimeLimitError(
                     f"time limit {limit!r} reached before {event!r} completed"
                 )
-            self.step()
+            pop(heap)
+            self._now = time
+            self._events_processed += 1
+            watchdog = self._watchdog
+            if watchdog is not None:
+                watchdog.observe(self, time, item)
+            if listeners:
+                for listener in listeners:
+                    listener(time, priority, seq)
+            item._process()
         if event.ok:
             return event.value
         event.defused = True

@@ -51,6 +51,11 @@ class Event:
     TRIGGERED = 1
     PROCESSED = 2
 
+    #: events are never tombstones; the engine's pop loop checks
+    #: ``item.cancelled`` uniformly on events and timer handles, and a class
+    #: attribute keeps the check a plain load despite ``__slots__``
+    cancelled = False
+
     def __init__(self, sim: "Simulator", name: Optional[str] = None) -> None:
         self.sim = sim
         self.name = name

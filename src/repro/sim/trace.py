@@ -72,19 +72,56 @@ class Tracer:
         enabled: bool = True,
         categories: Optional[Iterable[str]] = None,
     ) -> None:
-        self.enabled = enabled
-        self.categories: Optional[Set[str]] = set(categories) if categories else None
+        self._enabled = enabled
+        self._categories: Optional[Set[str]] = set(categories) if categories else None
         self.records: List[TraceRecord] = []
         self.counters: Counter = Counter()
         #: (callback, categories-or-None) pairs fed live records
         self._subscribers: List[Tuple[Callable[[TraceRecord], None], Optional[Set[str]]]] = []
-        #: union of subscribed categories; None entries set :attr:`_all_live`
-        self._live: Set[str] = set()
-        self._all_live = False
+        #: per-category dispatch plans: ``category -> (store, callbacks)``,
+        #: computed once per category and invalidated whenever the
+        #: subscriber list, the enabled flag or the category filter changes.
+        #: This replaces a per-record linear subscriber scan with one dict
+        #: lookup on the hot path.
+        self._plans: Dict[str, Tuple[bool, Tuple[Callable[[TraceRecord], None], ...]]] = {}
         #: callbacks the simulator invokes once per processed event with
         #: ``(time, priority, seq)`` — the raw total-order stream, kept out
         #: of the record path because it fires for *every* heap pop
         self.step_listeners: List[Callable[[float, int, int], None]] = []
+
+    # --------------------------------------------------------- configuration
+    @property
+    def enabled(self) -> bool:
+        """Master switch for record *storage* (see class docstring)."""
+        return self._enabled
+
+    @enabled.setter
+    def enabled(self, value: bool) -> None:
+        self._enabled = value
+        self._plans.clear()
+
+    @property
+    def categories(self) -> Optional[Set[str]]:
+        """Storage category filter; None stores everything (when enabled)."""
+        return self._categories
+
+    @categories.setter
+    def categories(self, value: Optional[Iterable[str]]) -> None:
+        self._categories = set(value) if value is not None else None
+        self._plans.clear()
+
+    def _plan(self, category: str) -> Tuple[bool, Tuple[Callable[[TraceRecord], None], ...]]:
+        store = self._enabled and (
+            self._categories is None or category in self._categories
+        )
+        callbacks = tuple(
+            callback
+            for callback, wanted in self._subscribers
+            if wanted is None or category in wanted
+        )
+        plan = (store, callbacks)
+        self._plans[category] = plan
+        return plan
 
     # --------------------------------------------------------------- records
     def wants(self, category: str) -> bool:
@@ -92,26 +129,23 @@ class Tracer:
 
         Hot paths call this before building a record's field dict.
         """
-        if self._all_live or category in self._live:
-            return True
-        if not self.enabled:
-            return False
-        return self.categories is None or category in self.categories
+        plan = self._plans.get(category)
+        if plan is None:
+            plan = self._plan(category)
+        return plan[0] or bool(plan[1])
 
     def record(self, time: float, category: str, **fields: Any) -> None:
-        store = self.enabled and (
-            self.categories is None or category in self.categories
-        )
-        live = self._all_live or category in self._live
-        if not store and not live:
+        plan = self._plans.get(category)
+        if plan is None:
+            plan = self._plan(category)
+        store, callbacks = plan
+        if not store and not callbacks:
             return
         entry = TraceRecord(time, category, tuple(fields.items()))
         if store:
             self.records.append(entry)
-        if live:
-            for callback, wanted in self._subscribers:
-                if wanted is None or category in wanted:
-                    callback(entry)
+        for callback in callbacks:
+            callback(entry)
 
     def subscribe(
         self,
@@ -124,10 +158,7 @@ class Tracer:
         """
         wanted = set(categories) if categories is not None else None
         self._subscribers.append((callback, wanted))
-        if wanted is None:
-            self._all_live = True
-        else:
-            self._live |= wanted
+        self._plans.clear()
 
     def unsubscribe(self, callback: Callable[[TraceRecord], None]) -> None:
         # Equality, not identity: bound methods (`bus.dispatch`) are a fresh
@@ -135,10 +166,7 @@ class Tracer:
         self._subscribers = [
             (cb, cats) for cb, cats in self._subscribers if cb != callback
         ]
-        self._all_live = any(cats is None for _cb, cats in self._subscribers)
-        self._live = set().union(
-            *(cats for _cb, cats in self._subscribers if cats is not None)
-        ) if self._subscribers else set()
+        self._plans.clear()
 
     def select(self, category: str) -> Iterator[TraceRecord]:
         """All records of ``category`` in chronological order."""

@@ -18,7 +18,7 @@ import pytest
 
 from repro.apps import BT
 from repro.harness import get_experiment, get_profile
-from repro.harness.runner import drain_monitor_verdicts, execute
+from repro.harness.runner import execute, monitor_ledger
 from repro.mpi import FtSockChannel
 from repro.runtime import DeploymentSpec, build_run
 from repro.sim import Simulator
@@ -28,11 +28,11 @@ from repro.sim.trace import Tracer, dump_jsonl
 def _small_execute(seed, procs_per_node=None):
     profile = get_profile("smoke", seed=seed)
     bench = BT(klass="B", scale=profile.time_scale)
-    result = execute(bench, 4, "pcl", profile, period=30.0,
-                     procs_per_node=procs_per_node,
-                     name="determinism-probe")
-    verdicts = drain_monitor_verdicts()
-    return result, verdicts
+    with monitor_ledger() as ledger:
+        result = execute(bench, 4, "pcl", profile, period=30.0,
+                         procs_per_node=procs_per_node,
+                         name="determinism-probe")
+    return result, ledger.verdicts
 
 
 @pytest.mark.parametrize("procs_per_node", [None, 2])

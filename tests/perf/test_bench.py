@@ -1,0 +1,130 @@
+"""The repro.perf subsystem: workloads, baseline policy, CLI.
+
+The perf suite is a *measured claim* like every figure: these tests pin
+that the workloads are deterministic in their work (events are exactly
+reproducible even though wall time is not), that the regression policy
+fires on real slowdowns and nothing else, and that the CLI exit codes are
+what CI keys on.
+"""
+
+import json
+
+import pytest
+
+from repro.perf import (
+    SUITES,
+    WORKLOADS,
+    compare_to_baseline,
+    load_baseline,
+    run_suite,
+    run_workload,
+    suite_report,
+)
+from repro.perf.bench import BenchResult
+from repro.perf.workloads import flow_churn, suite_params
+
+
+# -------------------------------------------------------------- workloads
+def test_workload_registry_matches_suites():
+    for suite, params in SUITES.items():
+        assert set(params) <= set(WORKLOADS), suite
+    with pytest.raises(KeyError):
+        suite_params("nope")
+
+
+def test_flow_churn_deterministic_work():
+    """Same parameters -> exactly the same useful events and engine pops
+    (the numerator of events/sec is wall-clock-free)."""
+    a = flow_churn(churn=60, persistent=8, cancel_every=5)
+    b = flow_churn(churn=60, persistent=8, cancel_every=5)
+    assert a.events == b.events
+    assert a.pops == b.pops
+    assert a.events > 0
+
+
+def test_flow_churn_exercises_cancellation():
+    run = flow_churn(churn=60, persistent=8, cancel_every=5)
+    # every 5th churn flow is cancelled: completions < flows started
+    assert run.extra["churn"] == 60
+    assert run.events < 60 + 8 + 1
+
+
+def test_run_workload_measures_and_keeps_best():
+    walls = iter([0.0, 5.0, 5.0, 7.0, 7.0, 8.0])  # 3 repeats: 5s, 2s, 1s
+    result = run_workload("flow_churn",
+                          {"churn": 10, "persistent": 2, "cancel_every": 3},
+                          repeat=3, clock=lambda: next(walls))
+    assert result.wall == 1.0
+    assert result.events_per_sec == pytest.approx(result.events / 1.0)
+
+
+# ------------------------------------------------------- regression policy
+def _results(**eps):
+    return {name: BenchResult(name=name, wall=1.0, events=int(v), pops=int(v),
+                              events_per_sec=float(v))
+            for name, v in eps.items()}
+
+
+def _baseline(**eps):
+    return {"workloads": {name: {"events_per_sec": float(v)}
+                          for name, v in eps.items()}}
+
+
+def test_compare_flags_regressions_beyond_tolerance():
+    baseline = _baseline(flow_churn=1000.0, netpipe=2000.0)
+    ok = compare_to_baseline(_results(flow_churn=800.0, netpipe=1500.0),
+                             baseline, tolerance=0.30)
+    assert ok == []
+    bad = compare_to_baseline(_results(flow_churn=600.0, netpipe=1500.0),
+                              baseline, tolerance=0.30)
+    assert len(bad) == 1 and "flow_churn" in bad[0]
+
+
+def test_compare_ignores_missing_and_extra_workloads():
+    baseline = _baseline(flow_churn=1000.0, ghost=9e9)
+    results = _results(flow_churn=950.0, newcomer=1.0)
+    assert compare_to_baseline(results, baseline) == []
+
+
+def test_suite_report_shape_and_speedup():
+    results = _results(flow_churn=2000.0)
+    report = suite_report(results, "smoke", 3,
+                          kernel_before={"flow_churn":
+                                         {"events_per_sec": 500.0}})
+    assert report["schema"] == "repro.perf/1"
+    assert report["workloads"]["flow_churn"]["events_per_sec"] == 2000.0
+    assert report["meta"]["flow_churn_speedup_vs_before"] == 4.0
+    assert report["kernel_before"]["flow_churn"]["events_per_sec"] == 500.0
+
+
+def test_load_baseline_missing_returns_none(tmp_path):
+    assert load_baseline(str(tmp_path / "nope.json")) is None
+    path = tmp_path / "bench.json"
+    path.write_text(json.dumps({"workloads": {}}))
+    assert load_baseline(str(path)) == {"workloads": {}}
+
+
+# ------------------------------------------------------------------- CLI
+def test_cli_help_and_regression_exit_codes(tmp_path):
+    from repro.perf.__main__ import main
+
+    with pytest.raises(SystemExit) as excinfo:
+        main(["--help"])
+    assert excinfo.value.code == 0
+
+    args = ["--only", "flow_churn", "--repeat", "1"]
+    baseline = tmp_path / "bench.json"
+
+    # no baseline: measure-only, exit 0
+    assert main(args + ["--baseline", str(baseline)]) == 0
+
+    # --update writes a baseline the same run then passes against
+    assert main(args + ["--baseline", str(baseline), "--update"]) == 0
+    assert baseline.exists()
+    assert main(args + ["--baseline", str(baseline)]) == 0
+
+    # an absurdly fast fake baseline must fail the check
+    doc = json.loads(baseline.read_text())
+    doc["workloads"]["flow_churn"]["events_per_sec"] = 1e12
+    baseline.write_text(json.dumps(doc))
+    assert main(args + ["--baseline", str(baseline)]) == 1

@@ -73,15 +73,19 @@ def test_gate_skips_interrupted_waiter():
     assert passed == ["ok"]
 
 
-def test_callback_removal_acts_as_cancellation():
+def test_timer_cancel_prevents_callback():
     sim = Simulator()
     fired = []
-    event = sim.call_at(5.0, fired.append, "x")
-    # remove the callback before it fires: nothing happens at t=5
-    event.callbacks.clear()
+    timer = sim.call_at(5.0, fired.append, "x")
+    sim.call_at(7.0, fired.append, "y")
+    timer.cancel()
+    timer.cancel()  # idempotent
     sim.run()
-    assert fired == []
-    assert sim.now == 5.0
+    assert fired == ["y"]
+    assert sim.now == 7.0
+    # the tombstone is discarded without advancing the clock or counting
+    # as a processed event
+    assert sim.events_processed == 1
 
 
 def test_interrupt_cause_none():
