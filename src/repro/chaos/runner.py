@@ -58,6 +58,9 @@ class ScenarioResult:
     #: engine heap pops of the run (0 when the run never finished); kept out
     #: of :meth:`to_dict` — wall-dependent-free but also not a verdict
     events: int = 0
+    #: repro.obs metrics snapshot (empty unless the run collected metrics,
+    #: i.e. REPRO_METRICS was set)
+    metrics: Dict = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -66,7 +69,7 @@ class ScenarioResult:
         return self.verdict in OK_VERDICTS
 
     def to_dict(self) -> dict:
-        return {
+        doc = {
             "scenario": self.scenario.to_dict(),
             "label": self.scenario.label,
             "verdict": self.verdict,
@@ -77,6 +80,9 @@ class ScenarioResult:
             "restarts": self.restarts,
             "monitors_ok": self.monitors_ok,
         }
+        if self.metrics:
+            doc["metrics"] = self.metrics
+        return doc
 
 
 def _expected_state(scenario: Scenario, bench) -> Dict[str, float]:
@@ -202,6 +208,7 @@ def run_scenario(
         monitors_ok=result.monitors_ok,
         app_state=result.meta.get("app_state", []),
         events=int(result.meta.get("events", 0)),
+        metrics=result.meta.get("metrics", {}),
     )
 
 

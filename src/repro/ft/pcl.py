@@ -60,6 +60,7 @@ class PclEndpoint(BaseEndpoint):
         self.wave = wave
         self._markers_from = set()
         self._entered_at = self.sim.now
+        self.protocol.note_phase("enter", wave)
         if self.sim.trace.wants("ft.enter_wave"):
             self.sim.trace.record(self.sim.now, "ft.enter_wave",
                                   rank=self.rank, wave=wave)
@@ -108,6 +109,8 @@ class PclEndpoint(BaseEndpoint):
 
     # ------------------------------------------------------------ checkpoint
     def _take_checkpoint(self) -> None:
+        # this rank holds every marker: its channels are flushed
+        self.protocol.note_phase("flushed", self.wave)
         snapshot = self.context.take_snapshot(self.wave)
         # fork() suspends the whole process briefly
         self.context.add_stall(self.protocol.fork_latency)
@@ -129,7 +132,11 @@ class PclEndpoint(BaseEndpoint):
             self.channel.dequeue_stopper()
         self.channel.open_send_gates()
         self.channel.thaw_sources()
-        self.protocol.stats.blocked_seconds += self.sim.now - self._entered_at
+        blocked = self.sim.now - self._entered_at
+        self.protocol.stats.blocked_seconds += blocked
+        if self.sim.metrics is not None:
+            self.sim.metrics.observe("ft.rank_blocked_seconds", blocked,
+                                     protocol="pcl", rank=self.rank)
 
     def _store_and_notify(self, snapshot):
         image = CheckpointImage(self.rank, snapshot.wave, snapshot.image_bytes, snapshot)
@@ -181,15 +188,11 @@ class PclProtocol(BaseProtocol):
                 return
             if self.job.completed.triggered or self.job.killed:
                 return
-            self._current_wave = wave
+            committed = self._begin_wave(wave)
             self._done_from = set()
-            self._wave_started_at = self.sim.now
-            self._wave_committed = self.sim.event(name=f"pcl:wave{wave}")
-            self.sim.trace.record(self.sim.now, "ft.wave_started",
-                                  wave=wave, protocol="pcl")
             self.endpoints[0].enter_wave(wave)
             try:
-                yield self._wave_committed
+                yield committed
             except Interrupt:
                 return
             wave += 1

@@ -182,6 +182,7 @@ class BaseEndpoint:
             self.sim.now, "ft.image_stored",
             rank=self.rank, wave=image.wave, nbytes=image.nbytes,
         )
+        self.protocol.note_phase("stored", image.wave)
 
     def _upload_single(self, image: CheckpointImage):
         end = self._server_connection()
@@ -340,6 +341,9 @@ class BaseProtocol:
         self._current_wave = 0
         self._wave_started_at = 0.0
         self._wave_committed: Optional["Event"] = None
+        #: phase -> latest sim time any rank hit that milestone this wave
+        #: (see :meth:`note_phase`); reset by :meth:`_begin_wave`
+        self._phase_marks: Dict[str, float] = {}
 
     # ------------------------------------------------------- proactive waves
     def request_wave(self) -> None:
@@ -404,6 +408,35 @@ class BaseProtocol:
             connection.break_()
         self._connections.clear()
 
+    def _begin_wave(self, wave: int) -> "Event":
+        """Shared wave-start bookkeeping for both drivers.
+
+        Sets the in-progress state, clears the phase marks, creates the
+        commit event and emits ``ft.wave_started``; returns the commit
+        event for the driver to await.
+        """
+        self._current_wave = wave
+        self._wave_started_at = self.sim.now
+        self._phase_marks = {}
+        self._wave_committed = self.sim.event(
+            name=f"{self.protocol_name}:wave{wave}")
+        self.sim.trace.record(self.sim.now, "ft.wave_started",
+                              wave=wave, protocol=self.protocol_name)
+        return self._wave_committed
+
+    def note_phase(self, phase: str, wave: int) -> None:
+        """Record that a rank reached a per-wave milestone *now*.
+
+        Milestones are ``enter`` (local checkpoint / wave entry),
+        ``flushed`` (pcl: all markers held, channels flushed; vcl: logging
+        window closed) and ``stored`` (image upload acknowledged).  The
+        *last* rank to reach each milestone defines the wave-global phase
+        boundary, so later calls simply overwrite.  One dict store per
+        milestone per rank — cheap enough to run unconditionally.
+        """
+        if wave == self._current_wave:
+            self._phase_marks[phase] = self.sim.now
+
     def _record_wave(self, wave: int, started_at: float) -> None:
         self.stats.waves_completed += 1
         self.stats.wave_records.append((wave, started_at, self.sim.now))
@@ -411,6 +444,50 @@ class BaseProtocol:
             self.sim.now, "ft.wave_completed", wave=wave,
             duration=self.sim.now - started_at, protocol=self.protocol_name,
         )
+        self._emit_phases(wave, started_at)
+
+    def _emit_phases(self, wave: int, started_at: float) -> None:
+        """Tile the committed wave into its four phases and publish them.
+
+        The raw milestone marks are clamped monotone into
+        ``[started_at, now]``, which makes the four phase intervals tile
+        the wave exactly by construction:
+
+        * ``markers`` — wave start until the last rank entered the wave,
+        * ``flush``   — until the last rank's channels were flushed (pcl)
+          or logging window closed (vcl): Pcl's stall lives here,
+        * ``stream``  — until the last image upload was acknowledged,
+        * ``commit``  — log shipping (vcl), done/ack collection and the
+          server commit quorum.
+
+        Emitted as ``ft.wave_phase`` trace records (timeline slices) and as
+        ``ft.wave_phase_seconds`` histograms (snapshot aggregation); with
+        neither a live category nor a registry this returns after two
+        checks.
+        """
+        trace = self.sim.trace
+        metrics = self.sim.metrics
+        wants = trace.wants("ft.wave_phase")
+        if not wants and metrics is None:
+            return
+        end = self.sim.now
+        marks = self._phase_marks
+        enter = min(max(marks.get("enter", started_at), started_at), end)
+        flushed = min(max(marks.get("flushed", enter), enter), end)
+        stored = min(max(marks.get("stored", flushed), flushed), end)
+        for phase, t0, t1 in (
+            ("markers", started_at, enter),
+            ("flush", enter, flushed),
+            ("stream", flushed, stored),
+            ("commit", stored, end),
+        ):
+            if wants:
+                trace.record(end, "ft.wave_phase", wave=wave, phase=phase,
+                             start=t0, end=t1, duration=t1 - t0,
+                             protocol=self.protocol_name)
+            if metrics is not None:
+                metrics.observe("ft.wave_phase_seconds", t1 - t0,
+                                protocol=self.protocol_name, phase=phase)
 
     def _commit_servers(self, wave: int) -> None:
         for server in self.servers:

@@ -373,6 +373,10 @@ class FTRun:
         self.stats.recovery_seconds += self.sim.now - recovery_start
         self.sim.trace.record(self.sim.now, "ft.restarted", wave=restored_wave,
                               incarnation=self._incarnation)
+        if self.sim.metrics is not None:
+            self.sim.metrics.observe("ft.recovery_seconds",
+                                     self.sim.now - recovery_start,
+                                     wave=restored_wave)
         self._launch(snapshots=snapshots, logs=logs, first=False,
                      restored_wave=restored_wave)
 
@@ -440,6 +444,9 @@ class FTRun:
         if self.sim.trace.wants("ft.fetch_failed"):
             self.sim.trace.record(self.sim.now, "ft.fetch_failed", rank=rank,
                                   wave=wave, replica=index, reason=reason)
+        if self.sim.metrics is not None:
+            self.sim.metrics.count("ft.fetch_failures", 1.0,
+                                   rank=rank, reason=reason)
 
     def _fetch_image(self, rank: int, wave: int):
         """Generator: load ``rank``'s image of ``wave``, or None.
@@ -496,5 +503,10 @@ class FTRun:
                     self.sim.trace.record(self.sim.now, "ft.fetch_backoff",
                                           rank=rank, wave=wave, round=round_no,
                                           delay=delay)
+                if self.sim.metrics is not None:
+                    self.sim.metrics.count("ft.fetch_backoff_rounds", 1.0,
+                                           rank=rank)
+                    self.sim.metrics.count("ft.fetch_backoff_seconds", delay,
+                                           rank=rank)
                 yield self.sim.timeout(delay)
         return None

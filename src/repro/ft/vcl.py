@@ -75,6 +75,7 @@ class VclEndpoint(BaseEndpoint):
             self.sim.now, "ft.local_checkpoint", rank=self.rank,
             wave=wave, protocol="vcl",
         )
+        self.protocol.note_phase("enter", wave)
         # 2. open the logging window for every peer channel
         self._logging_from = {r for r in range(self.job.size) if r != self.rank}
         self._log = []
@@ -123,8 +124,18 @@ class VclEndpoint(BaseEndpoint):
                     self.sim.now, "ft.marker_recv", rank=self.rank,
                     src=packet.src, wave=packet.wave, protocol="vcl",
                 )
-            if packet.src != SCHEDULER_ID:
+            if packet.src != SCHEDULER_ID and packet.src in self._logging_from:
                 self._logging_from.discard(packet.src)
+                if not self._logging_from:
+                    # every peer's marker has arrived: the Chandy–Lamport
+                    # cut is complete for this rank
+                    self.protocol.note_phase("flushed", self.wave)
+                    if self.sim.trace.wants("ft.logging_closed"):
+                        self.sim.trace.record(
+                            self.sim.now, "ft.logging_closed",
+                            rank=self.rank, wave=self.wave,
+                            messages=len(self._log), nbytes=self._log_bytes,
+                        )
                 self._check_local_done()
 
     def on_app_packet(self, packet: AppPacket) -> None:
@@ -144,6 +155,16 @@ class VclEndpoint(BaseEndpoint):
                 self.channel.log_buffer_bytes += packet.nbytes
             self.protocol.stats.logged_messages += 1
             self.protocol.stats.logged_bytes += packet.nbytes
+            metrics = self.sim.metrics
+            if metrics is not None:
+                metrics.count("ft.logged_messages", 1.0,
+                              rank=self.rank, wave=self.wave)
+                metrics.count("ft.logged_bytes", packet.nbytes,
+                              rank=self.rank, wave=self.wave)
+                if isinstance(self.channel, ChVChannel):
+                    metrics.set("channel.log_buffer_bytes",
+                                self.channel.log_buffer_bytes,
+                                rank=self.rank)
 
     # ----------------------------------------------------------- completion
     def _check_local_done(self) -> None:
@@ -188,6 +209,9 @@ class VclEndpoint(BaseEndpoint):
             self._image.logged_bytes = self._log_bytes
             if isinstance(self.channel, ChVChannel):
                 self.channel.log_buffer_bytes = 0.0
+                if self.sim.metrics is not None:
+                    self.sim.metrics.set("channel.log_buffer_bytes", 0.0,
+                                         rank=self.rank)
         else:
             # No channel state this wave: nothing more will arrive, so the
             # stored replicas are complete — seal them in place (in-process,
@@ -272,15 +296,11 @@ class VclProtocol(BaseProtocol):
                 return
             if self.job.completed.triggered or self.job.killed:
                 return
-            self._current_wave = wave
+            committed = self._begin_wave(wave)
             self._acks_from = set()
-            self._wave_started_at = self.sim.now
-            self._wave_committed = self.sim.event(name=f"vcl:wave{wave}")
-            self.sim.trace.record(self.sim.now, "ft.wave_started",
-                                  wave=wave, protocol="vcl")
             self.scheduler.broadcast_markers(wave)
             try:
-                yield self._wave_committed
+                yield committed
             except Interrupt:
                 return
             wave += 1

@@ -44,11 +44,19 @@ def main(argv=None) -> int:
                              "REPRO_JOBS environment variable, else "
                              "sequential); results are identical either "
                              "way")
+    parser.add_argument("--metrics", action="store_true",
+                        help="collect repro.obs metrics for every run and "
+                             "embed the snapshots in the figure JSON "
+                             "(figures are identical either way; see "
+                             "docs/OBSERVABILITY.md)")
     args = parser.parse_args(argv)
     if args.jobs is not None:
         # Figure modules read REPRO_JOBS through execute_grid, so the flag
         # needs no per-figure plumbing.
         os.environ["REPRO_JOBS"] = str(args.jobs)
+    if args.metrics:
+        # execute() reads REPRO_METRICS, so pool workers inherit it too.
+        os.environ["REPRO_METRICS"] = "1"
 
     if args.list or not args.experiments:
         for experiment_id in EXPERIMENT_IDS:

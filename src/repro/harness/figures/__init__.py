@@ -45,6 +45,7 @@ def get_experiment(experiment_id: str) -> Callable:
             result = module.run(profile)
         verdicts = ledger.verdicts
         result.monitors = verdicts
+        result.metrics = ledger.metrics
         dirty = sorted(
             name for name, verdict in verdicts.items() if not verdict["ok"]
         )

@@ -36,7 +36,12 @@ from typing import (
     TypeVar,
 )
 
-from repro.harness.runner import RunResult, execute, record_monitor_verdict
+from repro.harness.runner import (
+    RunResult,
+    execute,
+    record_monitor_verdict,
+    record_run_metrics,
+)
 
 __all__ = ["resolve_jobs", "pool_imap", "pool_map", "execute_grid"]
 
@@ -109,4 +114,7 @@ def execute_grid(tasks: Sequence[Dict[str, Any]],
         monitors = result.meta.get("monitors")
         if monitors is not None:
             record_monitor_verdict(result.meta["name"], monitors)
+        snapshot = result.meta.get("metrics")
+        if snapshot is not None:
+            record_run_metrics(result.meta["name"], snapshot)
     return results

@@ -41,6 +41,9 @@ class FigureResult:
     #: per-experiment verdicts of the online invariant monitors
     #: (:mod:`repro.verify`), filled in by the harness wrapper
     monitors: Dict[str, Any] = field(default_factory=dict)
+    #: per-run metrics snapshots (:mod:`repro.obs`), filled in by the
+    #: harness wrapper when runs executed with metrics on; empty otherwise
+    metrics: Dict[str, Any] = field(default_factory=dict)
 
     @property
     def all_checks_pass(self) -> bool:
@@ -57,6 +60,7 @@ class FigureResult:
             "checks": self.checks,
             "notes": self.notes,
             "monitors": self.monitors,
+            "metrics": self.metrics,
         }
 
 

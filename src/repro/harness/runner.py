@@ -7,6 +7,7 @@ every figure measures the same way.
 
 from __future__ import annotations
 
+import os
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
@@ -14,18 +15,31 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 from repro.apps.base import NASBenchmark
 from repro.ft.protocol import FTStats
 from repro.harness.config import Profile
+from repro.obs import attach_metrics
 from repro.runtime import DeploymentSpec, build_run
-from repro.sim import Simulator, Watchdog
+from repro.sim import Simulator, Tracer, Watchdog
 from repro.verify import MonitorBus, all_monitors
 
 __all__ = [
     "RunResult",
     "execute",
     "default_channel",
+    "metrics_enabled",
     "MonitorLedger",
     "monitor_ledger",
     "record_monitor_verdict",
+    "record_run_metrics",
 ]
+
+#: environment switch for metrics collection (``--metrics`` sets it); any
+#: value other than empty/0/false/off enables the registry for every run
+METRICS_ENV = "REPRO_METRICS"
+
+
+def metrics_enabled() -> bool:
+    """Whether ``REPRO_METRICS`` asks for metrics on every run."""
+    return os.environ.get(METRICS_ENV, "").strip().lower() not in (
+        "", "0", "false", "off")
 
 
 class MonitorLedger:
@@ -41,9 +55,14 @@ class MonitorLedger:
 
     def __init__(self) -> None:
         self.verdicts: Dict[str, Dict] = {}
+        #: run name -> metrics snapshot, for runs executed with metrics on
+        self.metrics: Dict[str, Dict] = {}
 
     def record(self, name: str, verdict: Dict) -> None:
         self.verdicts[name] = verdict
+
+    def record_metrics(self, name: str, snapshot: Dict) -> None:
+        self.metrics[name] = snapshot
 
 
 #: innermost-active-last stack of open ledgers (scoped, not leaked: each
@@ -66,6 +85,12 @@ def record_monitor_verdict(name: str, verdict: Dict) -> None:
     """Record one run's monitor verdict into the active ledger (if any)."""
     if _ledger_stack:
         _ledger_stack[-1].record(name, verdict)
+
+
+def record_run_metrics(name: str, snapshot: Dict) -> None:
+    """Record one run's metrics snapshot into the active ledger (if any)."""
+    if _ledger_stack:
+        _ledger_stack[-1].record_metrics(name, snapshot)
 
 
 def default_channel(protocol: Optional[str], network: str) -> str:
@@ -138,6 +163,8 @@ def execute(
     fetch_jitter: float = 0.25,
     storage_faults: Sequence[Tuple[str, int, int, float]] = (),
     watchdog: Union[bool, Watchdog] = True,
+    metrics: Optional[bool] = None,
+    tracer: Optional[Tracer] = None,
 ) -> RunResult:
     """Deploy and run one configuration to completion.
 
@@ -166,6 +193,15 @@ def execute(
     bare, or a configured :class:`~repro.sim.Watchdog` to tune thresholds.
     A livelock raises :class:`~repro.sim.LivelockError` out of this call
     instead of hanging the process.
+
+    ``metrics`` attaches a :class:`~repro.obs.MetricsRegistry`
+    (:func:`repro.obs.attach_metrics`); the run's snapshot lands in
+    ``RunResult.meta["metrics"]``.  The default (None) consults the
+    ``REPRO_METRICS`` environment variable; metrics are strictly
+    observational, so figures are identical either way.  ``tracer``
+    installs a caller-owned :class:`~repro.sim.Tracer` (e.g. a storing one
+    for ``python -m repro.obs record``) instead of the default disabled
+    tracer.
     """
     bench.validate_procs(n_procs)
     channel = channel or default_channel(protocol, network)
@@ -174,7 +210,10 @@ def execute(
     elif watchdog is False:
         watchdog = None
     sim = Simulator(seed=profile.seed if seed is None else seed,
-                    watchdog=watchdog)
+                    trace=tracer, watchdog=watchdog)
+    if metrics is None:
+        metrics = metrics_enabled()
+    registry = attach_metrics(sim) if metrics else None
     bus = None
     if monitors:
         bus = MonitorBus(all_monitors(), raise_on_violation=False)
@@ -230,6 +269,9 @@ def execute(
         bus.detach()
         meta["monitors"] = {"ok": bus.ok, "verdicts": bus.verdicts()}
         record_monitor_verdict(name, meta["monitors"])
+    if registry is not None:
+        meta["metrics"] = registry.snapshot()
+        record_run_metrics(name, meta["metrics"])
     return RunResult(
         completion=completion,
         waves=run.stats.waves_completed,

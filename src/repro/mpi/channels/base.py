@@ -111,8 +111,12 @@ class BaseChannel:
     def thaw_sources(self) -> None:
         """Deliver the delayed receive queue in arrival order, then unfreeze."""
         self._frozen_sources.clear()
+        drained = len(self.delayed_queue)
         while self.delayed_queue:
             self._deliver_app(self.delayed_queue.popleft())
+        if drained and self.sim.metrics is not None:
+            self.sim.metrics.set("channel.delayed_queue_depth", 0.0,
+                                 rank=self.rank)
 
     @property
     def frozen_sources(self):
@@ -134,6 +138,8 @@ class BaseChannel:
         self.sim.trace.count("mpi.bytes", nbytes)
         if self.sim.trace.wants("mpi.send"):
             self._record_send(packet, dst)
+        if self.sim.metrics is not None:
+            self._metrics_sent(packet, dst)
         return sent
 
     def send_control(self, dst: int, packet: Packet, nbytes: float):
@@ -200,6 +206,8 @@ class BaseChannel:
         self.sim.trace.count("mpi.bytes", nbytes)
         if self.sim.trace.wants("mpi.send"):
             self._record_send(packet, dst)
+        if self.sim.metrics is not None:
+            self._metrics_sent(packet, dst)
         return end.send(packet, wire_bytes, extra_latency=overhead)
 
     def _record_send(self, packet: AppPacket, dst: int) -> None:
@@ -219,6 +227,21 @@ class BaseChannel:
             protocol=getattr(getattr(endpoint, "protocol", None),
                              "protocol_name", None),
         )
+
+    def _metrics_sent(self, packet: AppPacket, dst: int) -> None:
+        """Per-link wire accounting at the send commit point (metrics on).
+
+        Counts *wire* bytes (payload + envelope) so the send and receive
+        sides of a link agree byte-for-byte — the conservation law the
+        property tests assert.  Control packets are deliberately excluded
+        on both sides: markers and acks are protocol traffic, not
+        application traffic.
+        """
+        metrics = self.sim.metrics
+        metrics.count("channel.messages_sent", 1.0,
+                      channel=self.channel_name, src=self.rank, dst=dst)
+        metrics.count("channel.bytes_sent", packet.nbytes,
+                      channel=self.channel_name, src=self.rank, dst=dst)
 
     def transfer_tax(self) -> float:
         """Engine stall imposed on application messages while this rank's
@@ -266,11 +289,25 @@ class BaseChannel:
             if trace.wants("mpi.recv"):
                 trace.record(self.sim.now, "mpi.recv", job=self.job.uid,
                              rank=self.rank, src=packet.src, seq=packet.seq)
+            metrics = self.sim.metrics
+            if metrics is not None:
+                metrics.count("channel.messages_received", 1.0,
+                              channel=self.channel_name,
+                              src=packet.src, dst=self.rank)
+                metrics.count("channel.bytes_received", packet.nbytes,
+                              channel=self.channel_name,
+                              src=packet.src, dst=self.rank)
             if self.protocol is not None:
                 self.protocol.on_app_packet(packet)
             if packet.src in self._frozen_sources:
                 self.delayed_queue.append(packet)
                 self.sim.trace.count("channel.delayed_packets")
+                if metrics is not None:
+                    # gauge (not counter): current depth of the Pcl
+                    # delayed-receive queue; peak is kept by the instrument
+                    metrics.set("channel.delayed_queue_depth",
+                                float(len(self.delayed_queue)),
+                                rank=self.rank)
             else:
                 self._deliver_app(packet)
         else:

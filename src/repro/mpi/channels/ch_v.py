@@ -67,8 +67,16 @@ class ChVChannel(BaseChannel):
         return UNIX_HOP_SECONDS + nbytes / COPY_BANDWIDTH + self._scan_cost()
 
     def _host_cost(self, seconds: float):
+        metrics = self.sim.metrics
+        start = self.sim.now if metrics is not None else 0.0
         yield self._daemon.acquire()
         try:
             yield self.sim.timeout(seconds)
         finally:
             self._daemon.release()
+            if metrics is not None:
+                # total hop latency = queueing behind the single daemon
+                # thread + the hop's own service time; the queueing share is
+                # what blows up under load (the paper's Sec. 5.3 complaint)
+                metrics.observe("channel.daemon_hop_seconds",
+                                self.sim.now - start, rank=self.rank)

@@ -122,6 +122,12 @@ class _Pipe:
             self._last_delivery = delivery
             self.bytes_sent += nbytes
             self.messages_sent += 1
+            metrics = self.sim.metrics
+            if metrics is not None:
+                # unlabelled on purpose: one instrument for the whole
+                # fabric, not one per (transient) pipe
+                metrics.count("net.inline_sends")
+                metrics.count("net.bytes_sent", nbytes)
             sent.succeed()
             self.sim.call_at(delivery - self.sim.now, self._deliver, payload, msg_id)
             return sent
@@ -152,6 +158,10 @@ class _Pipe:
                 self._current_flow = None
             self.bytes_sent += nbytes
             self.messages_sent += 1
+            metrics = self.sim.metrics
+            if metrics is not None:
+                metrics.count("net.flow_sends")
+                metrics.count("net.bytes_sent", nbytes)
             if not sent.triggered:
                 sent.succeed()
             # FIFO guard: a later message with a smaller queueing penalty must

@@ -1,0 +1,137 @@
+"""repro.obs — the observability layer.
+
+The paper's argument is about *where* a checkpoint wave spends its time
+(Pcl's channel-flush stall vs. Vcl's daemon latency and logged in-transit
+volume), so the reproduction carries a first-class metrics + timeline
+subsystem:
+
+* :class:`MetricsRegistry` (:mod:`repro.obs.registry`) — deterministic
+  counters / gauges / fixed-bucket histograms with scoped labels,
+  timestamped with the simulation clock.
+* :func:`attach_metrics` — installs a registry on a simulator: direct hooks
+  in the engine, channels, protocols and storage light up (they all guard
+  on ``sim.metrics is not None``), and a :class:`MetricsTap` subscribes to
+  the tracer's per-category dispatch plan so protocol lifecycle records
+  (waves, checkpoints, images, markers) are folded into metrics without
+  extra call sites.
+* :mod:`repro.obs.timeline` — exports a recorded trace as a Chrome-trace /
+  Perfetto ``trace_events`` timeline: one track per rank, one track of
+  per-wave phase slices.
+* ``python -m repro.obs`` — record / timeline / validate CLI
+  (:mod:`repro.obs.__main__`).
+
+Everything here is strictly observational: no simulation events are
+scheduled, no RNG stream is touched, so a run's figures are byte-identical
+with metrics on or off.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    DEFAULT_SECONDS_BUCKETS,
+    metric_values,
+    phase_totals,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "MetricsTap",
+    "DEFAULT_SECONDS_BUCKETS",
+    "attach_metrics",
+    "collect_engine",
+    "metric_values",
+    "phase_totals",
+]
+
+
+class MetricsTap:
+    """Folds protocol lifecycle trace records into metrics.
+
+    Rides the tracer's per-category dispatch plan: subscribing for exactly
+    these categories makes :meth:`~repro.sim.trace.Tracer.wants` true for
+    them *only while metrics are attached*, so the untapped run pays
+    nothing and the tapped run reuses the records the trace layer already
+    defines instead of sprouting parallel hooks.
+    """
+
+    CATEGORIES = (
+        "ft.wave_started",
+        "ft.wave_completed",
+        "ft.wave_aborted",
+        "ft.local_checkpoint",
+        "ft.image_stored",
+        "ft.marker_recv",
+        "ft.failure_detected",
+        "ft.restarted",
+    )
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self.registry = registry
+
+    def install(self, tracer: "Tracer") -> None:
+        tracer.subscribe(self.dispatch, categories=self.CATEGORIES)
+
+    def dispatch(self, record: "TraceRecord") -> None:
+        reg = self.registry
+        category = record.category
+        if category == "ft.wave_completed":
+            protocol = record.get("protocol", "?")
+            reg.count("ft.waves_completed", 1.0, protocol=protocol)
+            reg.observe("ft.wave_seconds", float(record.get("duration", 0.0)),
+                        protocol=protocol)
+        elif category == "ft.wave_started":
+            reg.count("ft.waves_started", 1.0,
+                      protocol=record.get("protocol", "?"))
+        elif category == "ft.wave_aborted":
+            reg.count("ft.waves_aborted", 1.0,
+                      protocol=record.get("protocol", "?"))
+        elif category == "ft.local_checkpoint":
+            reg.count("ft.local_checkpoints", 1.0,
+                      protocol=record.get("protocol", "?"))
+        elif category == "ft.image_stored":
+            reg.count("ft.images_stored", 1.0)
+            reg.count("ft.image_bytes_stored", float(record.get("nbytes", 0.0)))
+        elif category == "ft.marker_recv":
+            reg.count("ft.markers_received", 1.0,
+                      protocol=record.get("protocol", "?"))
+        elif category == "ft.failure_detected":
+            reg.count("ft.failures_detected", 1.0)
+        elif category == "ft.restarted":
+            reg.count("ft.restarts", 1.0)
+
+
+def collect_engine(registry: MetricsRegistry, sim: "Simulator") -> None:
+    """Snapshot-time engine figures: read once, never tracked per event."""
+    registry.set("engine.events_processed", float(sim.events_processed))
+    registry.set("engine.timer_tombstones", float(sim.tombstones_total))
+    registry.set("engine.heap_compactions", float(sim.compactions))
+    registry.set("engine.heap_depth", float(len(sim._heap)))
+    watchdog = sim.watchdog
+    if watchdog is not None:
+        registry.set("engine.max_zero_time_cascade",
+                     float(watchdog.max_cascade))
+
+
+def attach_metrics(sim: "Simulator") -> MetricsRegistry:
+    """Install a :class:`MetricsRegistry` on ``sim`` (idempotent).
+
+    Lights up every direct hook in the stack, registers the engine
+    collector, and taps the tracer's dispatch plan for protocol lifecycle
+    records.  Returns the registry.
+    """
+    if sim.metrics is not None:
+        return sim.metrics
+    registry = MetricsRegistry(sim)
+    sim.metrics = registry
+    registry.add_collector(lambda reg: collect_engine(reg, sim))
+    MetricsTap(registry).install(sim.trace)
+    return registry

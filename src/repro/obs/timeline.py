@@ -1,0 +1,251 @@
+"""Chrome-trace / Perfetto timeline export.
+
+Turns a recorded trace (``repro.sim.trace.dump_jsonl`` output) into the
+``trace_events`` JSON that chrome://tracing and https://ui.perfetto.dev
+load directly:
+
+* a **protocol track** with one slice per wave *phase* (markers / flush /
+  stream / commit, from the ``ft.wave_phase`` records the protocols emit at
+  commit time) — a Pcl flush stall is literally a wide "flush" slice;
+* one **track per rank** with its per-wave activity: the blocked interval
+  (Pcl: wave entry until resume) or the logging window (Vcl: local
+  checkpoint until the last peer marker), plus instants for local
+  checkpoints and stored images;
+* **counter tracks** for cumulative logged in-transit bytes (Vcl) and
+  failures/restarts as instants.
+
+Timestamps are simulated seconds converted to microseconds (the
+``trace_events`` unit).  The export is pure data transformation —
+deterministic for a given input file.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Tuple
+
+from repro.sim.trace import TraceRecord, load_jsonl
+
+__all__ = ["build_timeline", "export_timeline", "validate_trace_events",
+           "phase_sums"]
+
+#: trace_events pids: one virtual "process" per track group
+PROTOCOL_PID = 1
+RANKS_PID = 2
+COUNTERS_PID = 3
+
+_US = 1e6  # simulated seconds -> trace_events microseconds
+
+
+def _meta(pid: int, name: str, tid: int = 0,
+          thread: str = "") -> List[Dict[str, Any]]:
+    events: List[Dict[str, Any]] = [{
+        "ph": "M", "pid": pid, "tid": 0, "name": "process_name",
+        "args": {"name": name},
+    }]
+    if thread:
+        events.append({
+            "ph": "M", "pid": pid, "tid": tid, "name": "thread_name",
+            "args": {"name": thread},
+        })
+    return events
+
+
+def build_timeline(records: Iterable[TraceRecord]) -> Dict[str, Any]:
+    """Build the ``trace_events`` document from trace records."""
+    events: List[Dict[str, Any]] = []
+    ranks_seen: set = set()
+    protocol_name = "protocol"
+    logged_cumulative = 0.0
+    # (rank, wave) -> open time of the rank's wave slice, with its flavour
+    open_slices: Dict[Tuple[int, int], Tuple[float, str]] = {}
+
+    for record in records:
+        category = record.category
+        ts = record.time * _US
+        if category == "ft.wave_phase":
+            start = float(record.get("start", record.time)) * _US
+            end = float(record.get("end", record.time)) * _US
+            protocol_name = record.get("protocol", protocol_name)
+            events.append({
+                "ph": "X", "pid": PROTOCOL_PID, "tid": 1,
+                "name": str(record.get("phase", "phase")),
+                "cat": "wave",
+                "ts": start, "dur": max(0.0, end - start),
+                "args": {"wave": record.get("wave"),
+                         "protocol": record.get("protocol"),
+                         "seconds": record.get("duration")},
+            })
+        elif category == "ft.wave_started":
+            events.append({
+                "ph": "i", "pid": PROTOCOL_PID, "tid": 1,
+                "name": f"wave {record.get('wave')} started",
+                "cat": "wave", "ts": ts, "s": "p",
+                "args": {"wave": record.get("wave")},
+            })
+        elif category == "ft.enter_wave":
+            # Pcl: the rank is now blocked (gates closed / sources frozen)
+            rank = int(record.get("rank", 0))
+            wave = int(record.get("wave", 0))
+            ranks_seen.add(rank)
+            open_slices[(rank, wave)] = (ts, "blocked")
+        elif category == "ft.resume":
+            rank = int(record.get("rank", 0))
+            wave = int(record.get("wave", 0))
+            ranks_seen.add(rank)
+            opened = open_slices.pop((rank, wave), None)
+            if opened is not None:
+                start, flavour = opened
+                events.append({
+                    "ph": "X", "pid": RANKS_PID, "tid": rank,
+                    "name": f"w{wave} {flavour}", "cat": "rank",
+                    "ts": start, "dur": max(0.0, ts - start),
+                    "args": {"wave": wave},
+                })
+        elif category == "ft.logging_open":
+            # Vcl: computation continues; the slice is the logging window
+            rank = int(record.get("rank", 0))
+            wave = int(record.get("wave", 0))
+            ranks_seen.add(rank)
+            open_slices[(rank, wave)] = (ts, "logging")
+        elif category == "ft.logging_closed":
+            rank = int(record.get("rank", 0))
+            wave = int(record.get("wave", 0))
+            ranks_seen.add(rank)
+            opened = open_slices.pop((rank, wave), None)
+            if opened is not None:
+                start, flavour = opened
+                events.append({
+                    "ph": "X", "pid": RANKS_PID, "tid": rank,
+                    "name": f"w{wave} {flavour}", "cat": "rank",
+                    "ts": start, "dur": max(0.0, ts - start),
+                    "args": {"wave": wave,
+                             "messages": record.get("messages"),
+                             "nbytes": record.get("nbytes")},
+                })
+        elif category == "ft.local_checkpoint":
+            rank = int(record.get("rank", 0))
+            ranks_seen.add(rank)
+            events.append({
+                "ph": "i", "pid": RANKS_PID, "tid": rank,
+                "name": f"checkpoint w{record.get('wave')}",
+                "cat": "rank", "ts": ts, "s": "t",
+                "args": {"wave": record.get("wave"),
+                         "protocol": record.get("protocol")},
+            })
+        elif category == "ft.image_stored":
+            rank = int(record.get("rank", 0))
+            ranks_seen.add(rank)
+            events.append({
+                "ph": "i", "pid": RANKS_PID, "tid": rank,
+                "name": f"image stored w{record.get('wave')}",
+                "cat": "rank", "ts": ts, "s": "t",
+                "args": {"wave": record.get("wave"),
+                         "nbytes": record.get("nbytes")},
+            })
+        elif category == "ft.logged":
+            logged_cumulative += float(record.get("nbytes", 0.0))
+            events.append({
+                "ph": "C", "pid": COUNTERS_PID, "tid": 0,
+                "name": "logged in-transit bytes", "ts": ts,
+                "args": {"bytes": logged_cumulative},
+            })
+        elif category in ("ft.failure_detected", "ft.restarted"):
+            events.append({
+                "ph": "i", "pid": PROTOCOL_PID, "tid": 1,
+                "name": category.split(".", 1)[1].replace("_", " "),
+                "cat": "failure", "ts": ts, "s": "g",
+                "args": record.as_dict(),
+            })
+
+    # a rank slice never closed (run ended mid-wave): emit it zero-length at
+    # its open point so the open interval is still visible
+    for (rank, wave), (start, flavour) in sorted(open_slices.items()):
+        events.append({
+            "ph": "X", "pid": RANKS_PID, "tid": rank,
+            "name": f"w{wave} {flavour} (unfinished)", "cat": "rank",
+            "ts": start, "dur": 0.0, "args": {"wave": wave},
+        })
+
+    meta: List[Dict[str, Any]] = []
+    meta += _meta(PROTOCOL_PID, f"{protocol_name} waves", 1, "waves")
+    meta.append({"ph": "M", "pid": RANKS_PID, "tid": 0, "name": "process_name",
+                 "args": {"name": "ranks"}})
+    for rank in sorted(ranks_seen):
+        meta.append({"ph": "M", "pid": RANKS_PID, "tid": rank,
+                     "name": "thread_name", "args": {"name": f"rank {rank}"}})
+    meta += _meta(COUNTERS_PID, "counters")
+
+    return {
+        "traceEvents": meta + events,
+        "displayTimeUnit": "ms",
+        "otherData": {"source": "repro.obs", "schema": "trace_events"},
+    }
+
+
+def export_timeline(jsonl_path: str, out_path: str) -> Dict[str, Any]:
+    """Convert a trace JSONL file to a ``trace_events`` JSON file."""
+    doc = build_timeline(load_jsonl(jsonl_path))
+    with open(out_path, "w") as handle:
+        json.dump(doc, handle, indent=1)
+        handle.write("\n")
+    return doc
+
+
+def phase_sums(records: Iterable[TraceRecord]) -> Dict[int, float]:
+    """wave -> summed phase durations, from ``ft.wave_phase`` records.
+
+    The acceptance check: these sums must equal the wave durations in
+    :class:`~repro.ft.protocol.FTStats` (up to float addition error).
+    """
+    sums: Dict[int, float] = {}
+    for record in records:
+        if record.category != "ft.wave_phase":
+            continue
+        wave = int(record.get("wave", 0))
+        sums[wave] = sums.get(wave, 0.0) + float(record.get("duration", 0.0))
+    return sums
+
+
+def validate_trace_events(doc: Any) -> List[str]:
+    """Structural validation of a ``trace_events`` document.
+
+    Returns a list of problems (empty == valid): the checks Perfetto's
+    loader actually cares about — a ``traceEvents`` array of objects, each
+    with a known phase, numeric ``ts`` (and non-negative ``dur`` for
+    complete events), integer ``pid``/``tid``, and a string ``name``.
+    """
+    problems: List[str] = []
+    if not isinstance(doc, dict):
+        return ["document is not a JSON object"]
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ["missing traceEvents array"]
+    if not events:
+        problems.append("traceEvents is empty")
+    known_phases = {"B", "E", "X", "i", "I", "C", "M", "b", "e", "n", "s",
+                    "t", "f", "P", "N", "O", "D"}
+    for index, event in enumerate(events):
+        where = f"traceEvents[{index}]"
+        if not isinstance(event, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        phase = event.get("ph")
+        if phase not in known_phases:
+            problems.append(f"{where}: unknown phase {phase!r}")
+            continue
+        if not isinstance(event.get("name", ""), str):
+            problems.append(f"{where}: name is not a string")
+        for key in ("pid", "tid"):
+            if key in event and not isinstance(event[key], int):
+                problems.append(f"{where}: {key} is not an integer")
+        if phase == "M":
+            continue  # metadata events carry no timestamp
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)):
+            problems.append(f"{where}: ts missing or non-numeric")
+        if phase == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(f"{where}: X event needs dur >= 0")
+    return problems

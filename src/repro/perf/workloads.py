@@ -136,11 +136,19 @@ def bt_wave(n_procs: int = 16, scale: float = 0.05) -> WorkloadRun:
     result = execute(bench, n_procs, "pcl", profile, period=30.0,
                      procs_per_node=2, name="perf-bt-wave")
     pops = int(result.meta.get("events", 0))
-    return WorkloadRun(
-        events=pops,
-        pops=pops,
-        extra={"completion": result.completion, "waves": result.waves},
-    )
+    extra: Dict[str, Any] = {"completion": result.completion,
+                             "waves": result.waves}
+    snapshot = result.meta.get("metrics")
+    if snapshot:
+        # metrics-on bench runs (REPRO_METRICS) surface the wave phase
+        # decomposition so an events/sec swing can be attributed
+        from repro.obs import phase_totals
+
+        extra["wave_phase_seconds"] = {
+            phase: round(seconds, 6)
+            for phase, seconds in sorted(phase_totals(snapshot).items())
+        }
+    return WorkloadRun(events=pops, pops=pops, extra=extra)
 
 
 # ---------------------------------------------------------------- scale point

@@ -213,6 +213,14 @@ class Watchdog:
         self._samples: List[str] = []
         self._wall_mark: Optional[float] = None
         self._advanced = True
+        self._max_cascade = 0
+
+    @property
+    def max_cascade(self) -> int:
+        """Longest same-timestamp pop streak seen so far (including the
+        streak currently in flight) — an observability figure, updated only
+        when the clock advances so the hot path stays one comparison."""
+        return max(self._max_cascade, self._streak)
 
     # ------------------------------------------------------------- observing
     def observe(self, sim: "Simulator", now: float, event: Event) -> None:
@@ -220,6 +228,8 @@ class Watchdog:
         self._pops += 1
         if now != self._time:
             self._time = now
+            if self._streak > self._max_cascade:
+                self._max_cascade = self._streak
             self._streak = 0
             self._advanced = True
             if self._samples:
@@ -319,9 +329,16 @@ class Simulator:
         self._seq = 0
         self._events_processed = 0
         self._tombstones = 0
+        self._tombstones_total = 0
+        self._compactions = 0
         self.rng = RngRegistry(seed)
         self.trace = trace if trace is not None else Tracer(enabled=False)
         self._watchdog = watchdog
+        #: optional :class:`repro.obs.MetricsRegistry`; installed by
+        #: :func:`repro.obs.attach_metrics`.  The engine never touches it —
+        #: holding the slot here lets every layer reach metrics through the
+        #: simulator it already has, without importing repro.obs.
+        self.metrics: Optional[Any] = None
 
     # ---------------------------------------------------------------- clock
     @property
@@ -333,6 +350,16 @@ class Simulator:
     def events_processed(self) -> int:
         """Total heap pops processed so far (the `repro.perf` denominator)."""
         return self._events_processed
+
+    @property
+    def tombstones_total(self) -> int:
+        """Cumulative timer cancellations over the run (never decremented)."""
+        return self._tombstones_total
+
+    @property
+    def compactions(self) -> int:
+        """Number of in-place heap compactions triggered by tombstones."""
+        return self._compactions
 
     # ------------------------------------------------------------- watchdog
     @property
@@ -407,12 +434,14 @@ class Simulator:
         depends only on the entry tuples, not the heap's internal layout.
         """
         self._tombstones += 1
+        self._tombstones_total += 1
         heap = self._heap
         if (self._tombstones > self.COMPACT_MIN_TOMBSTONES
                 and self._tombstones * 2 > len(heap)):
             heap[:] = [entry for entry in heap if not entry[3].cancelled]
             heapq.heapify(heap)
             self._tombstones = 0
+            self._compactions += 1
 
     def peek(self) -> float:
         """Time of the next live event, or ``float('inf')`` when empty."""

@@ -8,7 +8,7 @@ from run statistics and traces rather than ad-hoc in each figure script.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -68,16 +68,49 @@ def wave_summary(stats: FTStats) -> dict:
     }
 
 
-def overhead_breakdown(completion: float, baseline: float, stats: FTStats) -> dict:
-    """Decompose a run's overhead versus its checkpoint-free baseline."""
+def overhead_breakdown(
+    completion: float,
+    baseline: float,
+    stats: Optional[FTStats] = None,
+    metrics: Optional[Dict[str, Any]] = None,
+) -> dict:
+    """Decompose a run's overhead versus its checkpoint-free baseline.
+
+    ``stats`` supplies the wave count (the legacy interface).  A
+    :mod:`repro.obs` ``metrics`` snapshot is the richer source: the wave
+    count is read from the ``ft.waves_completed`` counters and the overhead
+    is additionally decomposed per checkpoint-wave *phase* (markers / flush
+    / stream / commit) from the ``ft.wave_phase_seconds`` histograms the
+    protocols feed — so a Pcl run's overhead is visibly flush-dominated and
+    a Vcl run's commit/stream-dominated, instead of one opaque number.
+    At least one of ``stats`` / ``metrics`` must be given.
+    """
+    if stats is None and metrics is None:
+        raise ValueError("overhead_breakdown needs stats and/or metrics")
+    waves = stats.waves_completed if stats is not None else 0
+    phases: Dict[str, float] = {}
+    if metrics is not None:
+        from repro.obs import metric_values, phase_totals
+
+        phases = phase_totals(metrics)
+        if stats is None:
+            waves = int(sum(
+                entry.get("value", 0.0)
+                for _, entry in metric_values(metrics, "ft.waves_completed")
+            ))
     overhead = completion - baseline
-    return {
+    doc = {
         "completion_seconds": completion,
         "baseline_seconds": baseline,
         "overhead_seconds": overhead,
         "overhead_percent": 100.0 * overhead / baseline if baseline > 0 else 0.0,
-        "overhead_per_wave": (
-            overhead / stats.waves_completed if stats.waves_completed else 0.0
-        ),
-        "waves": stats.waves_completed,
+        "overhead_per_wave": overhead / waves if waves else 0.0,
+        "waves": waves,
     }
+    if phases:
+        total = sum(phases.values())
+        doc["phase_seconds"] = {k: phases[k] for k in sorted(phases)}
+        doc["phase_share"] = {
+            k: (phases[k] / total if total > 0 else 0.0) for k in sorted(phases)
+        }
+    return doc
