@@ -1,0 +1,5 @@
+"""Regenerate the three-way protocol race (see repro.harness.figures.protocol_race)."""
+
+
+def test_protocol_race(regenerate):
+    regenerate("protocol_race")

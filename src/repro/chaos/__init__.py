@@ -40,9 +40,10 @@ Run the standard smoke campaign::
 
     python -m repro.chaos --smoke --out results/chaos
 
-or just the storage-resilience slice::
+or just the storage-resilience or message-drain (Dcl) slices::
 
     python -m repro.chaos --storage --out results/chaos
+    python -m repro.chaos --dcl --out results/chaos
 
 See ``docs/CHAOS.md`` for the full knob reference.
 """
@@ -59,6 +60,7 @@ from repro.chaos.spec import (
     STORAGE_FAULTS,
     CampaignSpec,
     Scenario,
+    dcl_campaign,
     smoke_campaign,
     storage_campaign,
 )
@@ -71,6 +73,7 @@ __all__ = [
     "STORAGE_FAULTS",
     "Scenario",
     "ScenarioResult",
+    "dcl_campaign",
     "run_campaign",
     "run_scenario",
     "smoke_campaign",

@@ -1,13 +1,14 @@
 """Chaos campaign CLI.
 
-Standard CI smoke sweep (36 scenarios, exits 1 on any bad verdict)::
+Standard CI smoke sweep (48 scenarios, exits 1 on any bad verdict)::
 
     python -m repro.chaos --smoke --out results/chaos
 
 ``--storage`` runs only the 12 storage-resilience scenarios (replicated
-servers, server kills, image corruption); ``--list`` prints the scenario
-labels without running anything; ``--filter`` restricts the campaign to
-labels containing a substring.
+servers, server kills, image corruption); ``--dcl`` runs only the 12
+message-drain (Dcl) scenarios; ``--list`` prints the scenario labels
+without running anything; ``--filter`` restricts the campaign to labels
+containing a substring.
 """
 
 from __future__ import annotations
@@ -19,7 +20,7 @@ from typing import List, Optional
 
 from repro.chaos.report import write_report
 from repro.chaos.runner import run_campaign
-from repro.chaos.spec import smoke_campaign, storage_campaign
+from repro.chaos.spec import dcl_campaign, smoke_campaign, storage_campaign
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -32,11 +33,14 @@ def build_parser() -> argparse.ArgumentParser:
                     "unless the scenario expects them).",
     )
     parser.add_argument("--smoke", action="store_true",
-                        help="run the standard 36-scenario smoke campaign "
+                        help="run the standard 48-scenario smoke campaign "
                              "(the default when no campaign is selected)")
     parser.add_argument("--storage", action="store_true",
                         help="run only the 12 storage-resilience scenarios "
                              "(replication, server kills, corruption)")
+    parser.add_argument("--dcl", action="store_true",
+                        help="run only the 12 message-drain (Dcl) "
+                             "scenarios")
     parser.add_argument("--seed", type=int, default=0,
                         help="root seed for every scenario (default 0)")
     parser.add_argument("--out", default="results/chaos",
@@ -61,6 +65,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.storage:
         campaign = storage_campaign(seed=args.seed)
+    elif args.dcl:
+        campaign = dcl_campaign(seed=args.seed)
     else:
         campaign = smoke_campaign(seed=args.seed)  # --smoke is the default
     if args.filter:

@@ -24,6 +24,7 @@ __all__ = [
     "CampaignSpec",
     "smoke_campaign",
     "storage_campaign",
+    "dcl_campaign",
     "KILL_KINDS",
     "STORAGE_FAULTS",
 ]
@@ -247,15 +248,45 @@ def storage_campaign(seed: int = 0) -> CampaignSpec:
     return CampaignSpec(scenarios=scenarios, name="storage")
 
 
-def smoke_campaign(seed: int = 0) -> CampaignSpec:
-    """The standard CI smoke sweep: 36 scenarios, a few seconds of wall time.
+def dcl_campaign(seed: int = 0) -> CampaignSpec:
+    """Message-drain (Dcl) fault sweep: 12 scenarios.
 
-    Covers both protocols, all three paper channels, 1 and 2 processes per
-    node, task and node kills, and both kill phases — inside the first
-    checkpoint wave (t=1.7: wave 1 spans ~1.5–2.1 at the smoke scale) and
-    between waves (t=2.8: after wave 1 commits, before wave 2 starts at
-    ~3.6).  3 combos × 2 ppn × 2 kill kinds × 2 kill times = 24, plus the
-    12 storage-resilience scenarios of :func:`storage_campaign`.
+    Kills land inside the first drain wave (t=1.7: wave 1 spans ~1.5–2.1
+    at the smoke scale, and the drain window sits inside it) and between
+    waves (t=2.8) — the inside-wave kills exercise wave abort while send
+    gates are closed and counter reports are in flight.  Dcl rides the
+    MPICH2 devices like Pcl: ft-sock at 1 and 2 processes per node
+    (2 ppn × 2 kill kinds × 2 kill times = 8) plus Nemesis at 2 per node
+    (shared-memory intra-node paths under the drain stopper; 4 more).
+    """
+    sweep = CampaignSpec.grid(
+        combos=(("dcl", "ft_sock"),),
+        procs_per_node=(1, 2),
+        kill_times=(1.7, 2.8),
+        seeds=(seed,),
+        name="dcl",
+    )
+    nemesis = CampaignSpec.grid(
+        combos=(("dcl", "nemesis"),),
+        procs_per_node=(2,),
+        kill_times=(1.7, 2.8),
+        seeds=(seed,),
+    )
+    sweep.scenarios.extend(nemesis.scenarios)
+    return sweep
+
+
+def smoke_campaign(seed: int = 0) -> CampaignSpec:
+    """The standard CI smoke sweep: 48 scenarios, a few seconds of wall time.
+
+    Covers all three protocol families, all three paper channels, 1 and 2
+    processes per node, task and node kills, and both kill phases — inside
+    the first checkpoint wave (t=1.7: wave 1 spans ~1.5–2.1 at the smoke
+    scale) and between waves (t=2.8: after wave 1 commits, before wave 2
+    starts at ~3.6).  3 Pcl/Vcl combos × 2 ppn × 2 kill kinds × 2 kill
+    times = 24, plus the 12 storage-resilience scenarios of
+    :func:`storage_campaign`, plus the 12 message-drain scenarios of
+    :func:`dcl_campaign`.
     """
     grid = CampaignSpec.grid(
         kill_times=(1.7, 2.8),
@@ -263,4 +294,5 @@ def smoke_campaign(seed: int = 0) -> CampaignSpec:
         name="smoke",
     )
     grid.scenarios.extend(storage_campaign(seed).scenarios)
+    grid.scenarios.extend(dcl_campaign(seed).scenarios)
     return grid

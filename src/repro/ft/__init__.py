@@ -4,6 +4,9 @@
   with daemon-side message logging (MPICH-Vcl, Sec. 3/4.1).
 * :class:`~repro.ft.pcl.PclProtocol` — blocking channel-flushing checkpoints
   (MPICH2-Pcl, Sec. 3/4.2).
+* :class:`~repro.ft.dcl.DclProtocol` — coordinated message-drain checkpoints
+  driven by send/receive counter quiescence (the topological-sort / CVC
+  idiom; no logging, no delayed receives).
 * :class:`~repro.ft.server.CheckpointServer` — shared image storage machinery
   with per-image checksums, K-way replica assignment and quorum-aware commit.
 * :class:`~repro.ft.recovery.FTRun` — kill / rollback / restart orchestration,
@@ -14,6 +17,7 @@
   failures plus silent image corruption.
 """
 
+from repro.ft.dcl import DclEndpoint, DclProtocol, DRAIN_BUDGET
 from repro.ft.failure import FailureInjector
 from repro.ft.image import CheckpointImage, FORK_LATENCY, RUNTIME_IMAGE_OVERHEAD_BYTES
 from repro.ft.pcl import PclEndpoint, PclProtocol
@@ -38,6 +42,9 @@ __all__ = [
     "BaseProtocol",
     "CheckpointImage",
     "CheckpointServer",
+    "DclEndpoint",
+    "DclProtocol",
+    "DRAIN_BUDGET",
     "FailureInjector",
     "FetchPolicy",
     "FORK_LATENCY",

@@ -296,12 +296,28 @@ class BaseEndpoint:
     def on_app_packet(self, packet) -> None:
         """Default: application packets need no protocol attention."""
 
+    def on_app_sent(self, packet, dst: int) -> None:
+        """Called at the send *commit* point (payload on the wire or in the
+        wave's channel state).  Default: no protocol attention; Dcl counts
+        committed sends here for counter quiescence."""
+
 
 class BaseProtocol:
     """One protocol instance per job incarnation."""
 
     #: human-readable protocol name for reports
     protocol_name = "base"
+
+    #: ordered (phase name, milestone key) pairs that tile a committed wave
+    #: between ``ft.wave_started`` and the commit; the trailing ``commit``
+    #: phase (last milestone -> commit time) is implicit.  Subclasses insert
+    #: protocol-specific phases (Dcl adds ``drain`` between the request
+    #: broadcast and the channel flush); see :meth:`_emit_phases`.
+    wave_phase_milestones: Tuple[Tuple[str, str], ...] = (
+        ("markers", "enter"),
+        ("flush", "flushed"),
+        ("stream", "stored"),
+    )
 
     def __init__(
         self,
@@ -428,8 +444,10 @@ class BaseProtocol:
         """Record that a rank reached a per-wave milestone *now*.
 
         Milestones are ``enter`` (local checkpoint / wave entry),
-        ``flushed`` (pcl: all markers held, channels flushed; vcl: logging
-        window closed) and ``stored`` (image upload acknowledged).  The
+        ``drained`` (dcl: the initiator observed counter quiescence),
+        ``flushed`` (pcl: all markers held, channels flushed; dcl: the
+        checkpoint order arrived; vcl: logging window closed) and
+        ``stored`` (image upload acknowledged).  The
         *last* rank to reach each milestone defines the wave-global phase
         boundary, so later calls simply overwrite.  One dict store per
         milestone per rank — cheap enough to run unconditionally.
@@ -447,15 +465,18 @@ class BaseProtocol:
         self._emit_phases(wave, started_at)
 
     def _emit_phases(self, wave: int, started_at: float) -> None:
-        """Tile the committed wave into its four phases and publish them.
+        """Tile the committed wave into its phases and publish them.
 
-        The raw milestone marks are clamped monotone into
-        ``[started_at, now]``, which makes the four phase intervals tile
-        the wave exactly by construction:
+        The raw milestone marks (one per :attr:`wave_phase_milestones`
+        entry) are clamped monotone into ``[started_at, now]``, which makes
+        the phase intervals tile the wave exactly by construction:
 
         * ``markers`` — wave start until the last rank entered the wave,
-        * ``flush``   — until the last rank's channels were flushed (pcl)
-          or logging window closed (vcl): Pcl's stall lives here,
+        * ``drain``   — (Dcl only) until the initiator observed counter
+          quiescence: every committed send was received, network empty,
+        * ``flush``   — until the last rank's channels were flushed (pcl/
+          dcl: the local snapshot) or logging window closed (vcl): the
+          blocking protocols' stall lives here,
         * ``stream``  — until the last image upload was acknowledged,
         * ``commit``  — log shipping (vcl), done/ack collection and the
           server commit quorum.
@@ -472,15 +493,14 @@ class BaseProtocol:
             return
         end = self.sim.now
         marks = self._phase_marks
-        enter = min(max(marks.get("enter", started_at), started_at), end)
-        flushed = min(max(marks.get("flushed", enter), enter), end)
-        stored = min(max(marks.get("stored", flushed), flushed), end)
-        for phase, t0, t1 in (
-            ("markers", started_at, enter),
-            ("flush", enter, flushed),
-            ("stream", flushed, stored),
-            ("commit", stored, end),
-        ):
+        spans = []
+        prev = started_at
+        for phase, milestone in self.wave_phase_milestones:
+            at = min(max(marks.get(milestone, prev), prev), end)
+            spans.append((phase, prev, at))
+            prev = at
+        spans.append(("commit", prev, end))
+        for phase, t0, t1 in spans:
             if wants:
                 trace.record(end, "ft.wave_phase", wave=wave, phase=phase,
                              start=t0, end=t1, duration=t1 - t0,

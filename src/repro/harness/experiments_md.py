@@ -95,6 +95,16 @@ PAPER_CLAIMS: Dict[str, tuple] = {
         "every process count, while the failure-free application result "
         "is unchanged.",
     ),
+    "protocol_race": (
+        "Fig. 7 (Sec. 5.3, extension)",
+        "Re-asking the paper's question against a third family: a "
+        "message-drain protocol (Dcl) that blocks by counter-proven "
+        "network quiescence is linear in the number of waves like Pcl "
+        "(both blocking families share a failure-free baseline on the "
+        "same channel), while Vcl stays flat versus waves but starts "
+        "higher — the blocking/non-blocking trade-off is a property of "
+        "the family, not of the flush mechanism.",
+    ),
 }
 
 

@@ -20,6 +20,7 @@ EXPERIMENT_IDS = (
     "ablations",
     "mttf",
     "replication",
+    "protocol_race",
 )
 
 

@@ -1,0 +1,126 @@
+"""Protocol race — all three families on one axis (CG, Myrinet).
+
+A Fig. 7-style three-way comparison with one entry per protocol *family*:
+Pcl (blocking, channel-flush) over ft-sock, Vcl (non-blocking, message
+logging) over ch_v, and Dcl (blocking, message-drain) over ft-sock —
+the drain protocol reuses the MPICH2 device Pcl runs on, so the two
+blocking families differ only in *how* they empty the network before
+forking (gate-and-flush vs counter quiescence).  Completion time is
+plotted against the number of completed checkpoint waves, obtained by
+sweeping the checkpoint timeout; wave 0 is a checkpoint-free baseline
+per channel.
+
+Expected shape:
+
+* both blocking families are *linear in the number of waves* — each wave
+  stalls the application for the synchronization plus the image
+  transfers;
+* Dcl tracks Pcl closely (same channel, same fork cost): draining by
+  counters costs about the same as flushing by markers at this scale;
+* Vcl is much flatter versus waves but starts from a far higher
+  baseline — CG is latency-bound and every message pays the ch_v
+  daemon's extra hops and copies.
+
+All runs go through :func:`repro.harness.parallel.execute_grid`, so
+``--jobs N`` (or ``REPRO_JOBS``) fans the grid out over a process pool
+with byte-identical results.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.apps import CG
+from repro.harness.config import Profile
+from repro.harness.parallel import execute_grid
+from repro.harness.report import FigureResult, Series
+from repro.tools import linear_fit
+
+__all__ = ["run", "IMPLEMENTATIONS"]
+
+#: (label, protocol, channel) — one entry per protocol family
+IMPLEMENTATIONS = (
+    ("pcl", "pcl", "ft_sock"),
+    ("vcl", "vcl", "ch_v"),
+    ("dcl", "dcl", "ft_sock"),
+)
+
+
+def run(profile: Profile) -> FigureResult:
+    bench = CG(klass="C", scale=profile.time_scale)
+    p = profile.fig7_procs
+    deploy = dict(network="myrinet", procs_per_node=2,
+                  n_compute_nodes=-(-p // 2), n_servers=profile.fig7_servers)
+
+    # one checkpoint-free baseline per channel (Pcl and Dcl share ft-sock)
+    channels = []
+    for _label, _protocol, channel in IMPLEMENTATIONS:
+        if channel not in channels:
+            channels.append(channel)
+    tasks = [
+        dict(bench=bench, n_procs=p, protocol=None, profile=profile,
+             channel=channel, name=f"race-base-{channel}", **deploy)
+        for channel in channels
+    ]
+    for label, protocol, channel in IMPLEMENTATIONS:
+        tasks += [
+            dict(bench=bench, n_procs=p, protocol=protocol, profile=profile,
+                 channel=channel, period=period,
+                 name=f"race-{label}-t{period}", **deploy)
+            for period in profile.fig7_periods
+        ]
+    grid = execute_grid(tasks)
+
+    baselines = dict(zip(channels, grid[:len(channels)]))
+    per_impl = len(profile.fig7_periods)
+    points: Dict[str, List[Tuple[int, float]]] = {}
+    for index, (label, _protocol, channel) in enumerate(IMPLEMENTATIONS):
+        start = len(channels) + index * per_impl
+        runs = grid[start:start + per_impl]
+        points[label] = [(0, baselines[channel].completion)]
+        points[label] += [(r.waves, r.completion) for r in runs]
+
+    series = []
+    fits = {}
+    for label, _protocol, _channel in IMPLEMENTATIONS:
+        pts = sorted(points[label])
+        xs = [float(w) for w, _t in pts]
+        ys = [t for _w, t in pts]
+        series.append(Series(label, xs, ys))
+        if len(set(xs)) >= 2:
+            fits[label] = linear_fit(xs, ys)
+
+    pcl, vcl, dcl = fits["pcl"], fits["vcl"], fits["dcl"]
+    blocking_slope = min(pcl.slope, dcl.slope)
+    checks = {
+        "pcl time linear in waves (slope > 0)": pcl.slope > 0,
+        "dcl time linear in waves (slope > 0)": dcl.slope > 0,
+        "dcl tracks pcl (same device): slopes within 2x":
+            0.5 * pcl.slope < dcl.slope < 2.0 * pcl.slope,
+        "blocking families share a baseline (same channel)":
+            abs(dcl.intercept - pcl.intercept) < 0.05 * pcl.intercept,
+        "vcl much flatter than the blocking families":
+            abs(vcl.slope) < 0.60 * blocking_slope,
+        "vcl baseline above the blocking families (daemon latency)":
+            vcl.intercept > max(pcl.intercept, dcl.intercept),
+        "every checkpointed run completed at least one wave":
+            all(w >= 1 for label in points
+                for w, _t in points[label][1:]),
+    }
+    notes = [
+        "x = completed checkpoint waves (0 = checkpoint-free run)",
+        f"pcl: {pcl.slope:.2f}s/wave from {pcl.intercept:.1f}s",
+        f"dcl: {dcl.slope:.2f}s/wave from {dcl.intercept:.1f}s",
+        f"vcl: {vcl.slope:.2f}s/wave from {vcl.intercept:.1f}s",
+    ]
+    return FigureResult(
+        figure_id="protocol_race",
+        title=f"Three protocol families: completion vs waves "
+              f"(CG.C, {p} procs, Myrinet)",
+        x_label="completed waves",
+        y_label="completion time [s]",
+        series=series,
+        checks=checks,
+        notes=notes,
+        profile=profile.name,
+    )

@@ -98,6 +98,8 @@ def default_channel(protocol: Optional[str], network: str) -> str:
 
     * Pcl lives in MPICH2: ft-sock on TCP networks, Nemesis available on
       Myrinet (callers pick explicitly for the Fig. 7 comparison);
+    * Dcl reuses the MPICH2 devices (same send-gate machinery as Pcl), so
+      it defaults to ft-sock too;
     * Vcl lives in MPICH-1.2.7: always the ch_v daemon device;
     * no-checkpoint baselines use the same channel as the implementation
       they baseline (callers pass it explicitly), defaulting to ft-sock.

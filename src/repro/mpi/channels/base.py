@@ -140,6 +140,11 @@ class BaseChannel:
             self._record_send(packet, dst)
         if self.sim.metrics is not None:
             self._metrics_sent(packet, dst)
+        if self.protocol is not None:
+            # Commit-point hook (seq assignment above is *pre*-gate, so a
+            # packet parked at a closed gate has not been sent): Dcl counts
+            # committed application sends here for counter quiescence.
+            self.protocol.on_app_sent(packet, dst)
         return sent
 
     def send_control(self, dst: int, packet: Packet, nbytes: float):
@@ -208,6 +213,8 @@ class BaseChannel:
             self._record_send(packet, dst)
         if self.sim.metrics is not None:
             self._metrics_sent(packet, dst)
+        if self.protocol is not None:
+            self.protocol.on_app_sent(packet, dst)
         return end.send(packet, wire_bytes, extra_latency=overhead)
 
     def _record_send(self, packet: AppPacket, dst: int) -> None:

@@ -15,6 +15,8 @@ __all__ = [
     "AppPacket",
     "MarkerPacket",
     "CheckpointDonePacket",
+    "DrainCountPacket",
+    "DrainGoPacket",
     "ControlPacket",
     "MARKER_BYTES",
 ]
@@ -63,6 +65,33 @@ class MarkerPacket(Packet):
 
 class CheckpointDonePacket(Packet):
     """Pcl: 'my image is stored' notification sent to rank 0."""
+
+    __slots__ = ("wave",)
+
+    def __init__(self, src: int, wave: int) -> None:
+        super().__init__(src)
+        self.wave = wave
+
+
+class DrainCountPacket(Packet):
+    """Dcl: a rank's cumulative send/receive counters, reported to the
+    initiator while the network drains (the CVC quiescence idiom)."""
+
+    __slots__ = ("wave", "sent", "recvd")
+
+    def __init__(self, src: int, wave: int, sent: int, recvd: int) -> None:
+        super().__init__(src)
+        self.wave = wave
+        self.sent = sent
+        self.recvd = recvd
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<DrainCount wave={self.wave} src={self.src} "
+                f"sent={self.sent} recvd={self.recvd}>")
+
+
+class DrainGoPacket(Packet):
+    """Dcl: the initiator's 'network is empty, checkpoint now' order."""
 
     __slots__ = ("wave",)
 

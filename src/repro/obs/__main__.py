@@ -97,7 +97,7 @@ def main(argv=None) -> int:
     record.add_argument("--bench", default="bt", help="benchmark (default: bt)")
     record.add_argument("--klass", default="B", help="NAS class (default: B)")
     record.add_argument("--protocol", default="pcl",
-                        choices=("pcl", "vcl", "none"),
+                        choices=("pcl", "vcl", "dcl", "none"),
                         help="checkpoint protocol (default: pcl)")
     record.add_argument("-n", "--n-procs", type=int, default=9,
                         help="process count (BT needs a perfect square)")

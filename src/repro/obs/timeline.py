@@ -8,9 +8,10 @@ load directly:
   stream / commit, from the ``ft.wave_phase`` records the protocols emit at
   commit time) — a Pcl flush stall is literally a wide "flush" slice;
 * one **track per rank** with its per-wave activity: the blocked interval
-  (Pcl: wave entry until resume) or the logging window (Vcl: local
-  checkpoint until the last peer marker), plus instants for local
-  checkpoints and stored images;
+  (Pcl: wave entry until resume), the draining window (Dcl: drain entry
+  until resume) or the logging window (Vcl: local checkpoint until the
+  last peer marker), plus instants for local checkpoints and stored
+  images;
 * **counter tracks** for cumulative logged in-transit bytes (Vcl) and
   failures/restarts as instants.
 
@@ -102,6 +103,21 @@ def build_timeline(records: Iterable[TraceRecord]) -> Dict[str, Any]:
                     "ts": start, "dur": max(0.0, ts - start),
                     "args": {"wave": wave},
                 })
+        elif category == "ft.drain_open":
+            # Dcl: app sends frozen until the wave's image is forked
+            rank = int(record.get("rank", 0))
+            wave = int(record.get("wave", 0))
+            ranks_seen.add(rank)
+            open_slices[(rank, wave)] = (ts, "draining")
+        elif category == "ft.drain_quiesced":
+            events.append({
+                "ph": "i", "pid": PROTOCOL_PID, "tid": 1,
+                "name": f"wave {record.get('wave')} quiesced",
+                "cat": "wave", "ts": ts, "s": "p",
+                "args": {"wave": record.get("wave"),
+                         "sent": record.get("sent"),
+                         "recvd": record.get("recvd")},
+            })
         elif category == "ft.logging_open":
             # Vcl: computation continues; the slice is the logging window
             rank = int(record.get("rank", 0))

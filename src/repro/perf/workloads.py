@@ -13,6 +13,11 @@ dominated by one layer of the stack the figures depend on:
   (message layer + WAN fabrics).
 * ``bt_wave`` — one harness-style run: BT under Pcl with checkpoint waves,
   monitors on, exactly like a figure grid point.
+* ``dcl_wave`` — the same grid point under the message-drain (Dcl)
+  protocol: counter reports and quiescence detection replace the channel
+  flush, so this isolates the drain machinery's cost.  Non-gating until a
+  baseline refresh records it (``compare_to_baseline`` only judges
+  workloads present in the stored baseline).
 * ``scale_337`` — the paper's scale boundary: an FTPM launch of 337
   processes (the count the Vcl dispatcher refuses, see Sec. 5.4) running a
   token ring, measuring the process/connection fan-out cost.
@@ -151,6 +156,31 @@ def bt_wave(n_procs: int = 16, scale: float = 0.05) -> WorkloadRun:
     return WorkloadRun(events=pops, pops=pops, extra=extra)
 
 
+# ------------------------------------------------------------------- dcl wave
+def dcl_wave(n_procs: int = 16, scale: float = 0.05) -> WorkloadRun:
+    """The ``bt_wave`` grid point under Dcl: drain-to-quiescence waves."""
+    from repro.apps import BT
+    from repro.harness.config import get_profile
+    from repro.harness.runner import execute
+
+    profile = get_profile("smoke", seed=0)
+    bench = BT(klass="B", scale=scale)
+    result = execute(bench, n_procs, "dcl", profile, period=30.0,
+                     procs_per_node=2, name="perf-dcl-wave")
+    pops = int(result.meta.get("events", 0))
+    extra: Dict[str, Any] = {"completion": result.completion,
+                             "waves": result.waves}
+    snapshot = result.meta.get("metrics")
+    if snapshot:
+        from repro.obs import phase_totals
+
+        extra["wave_phase_seconds"] = {
+            phase: round(seconds, 6)
+            for phase, seconds in sorted(phase_totals(snapshot).items())
+        }
+    return WorkloadRun(events=pops, pops=pops, extra=extra)
+
+
 # ---------------------------------------------------------------- scale point
 def scale_337(n_procs: int = 337, rounds: int = 2) -> WorkloadRun:
     """FTPM launch at the select() wall: 337 processes, token ring.
@@ -199,6 +229,7 @@ WORKLOADS: Dict[str, Callable[..., WorkloadRun]] = {
     "flow_churn": flow_churn,
     "netpipe": netpipe,
     "bt_wave": bt_wave,
+    "dcl_wave": dcl_wave,
     "scale_337": scale_337,
     "chaos_kill": chaos_kill,
 }
@@ -209,6 +240,7 @@ SUITES: Dict[str, Dict[str, Dict[str, Any]]] = {
         "flow_churn": {"churn": 200, "persistent": 48},
         "netpipe": {"repeats": 2},
         "bt_wave": {"n_procs": 16, "scale": 0.05},
+        "dcl_wave": {"n_procs": 16, "scale": 0.05},
         "scale_337": {"n_procs": 337, "rounds": 1},
         "chaos_kill": {},
     },
@@ -216,6 +248,7 @@ SUITES: Dict[str, Dict[str, Dict[str, Any]]] = {
         "flow_churn": {"churn": 400, "persistent": 64},
         "netpipe": {"repeats": 3},
         "bt_wave": {"n_procs": 36, "scale": 0.05},
+        "dcl_wave": {"n_procs": 36, "scale": 0.05},
         "scale_337": {"n_procs": 337, "rounds": 2},
         "chaos_kill": {},
     },

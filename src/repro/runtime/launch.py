@@ -18,6 +18,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from repro.ft import (
     CheckpointServer,
+    DclProtocol,
     FetchPolicy,
     FTRun,
     InstantLauncher,
@@ -53,7 +54,7 @@ class DeploymentSpec:
     """Everything needed to deploy one fault-tolerant MPI run."""
 
     n_procs: int
-    protocol: Optional[str] = "pcl"  # "pcl" | "vcl" | None (no checkpointing)
+    protocol: Optional[str] = "pcl"  # "pcl" | "vcl" | "dcl" | None (no ckpt)
     channel: str = "ft_sock"  # "ft_sock" | "ch_v" | "nemesis"
     network: str = "gige"  # "gige" | "myrinet" | "grid5000"
     n_servers: int = 1
@@ -75,7 +76,7 @@ class DeploymentSpec:
     fetch_jitter: float = 0.25
 
     def __post_init__(self) -> None:
-        if self.protocol not in ("pcl", "vcl", None):
+        if self.protocol not in ("pcl", "vcl", "dcl", None):
             raise ValueError(f"unknown protocol {self.protocol!r}")
         if self.channel not in CHANNELS:
             raise ValueError(f"unknown channel {self.channel!r}")
@@ -104,7 +105,7 @@ def _make_launcher(spec: DeploymentSpec):
     if choice == "auto":
         if spec.protocol == "vcl":
             choice = "dispatcher"
-        elif spec.protocol == "pcl":
+        elif spec.protocol in ("pcl", "dcl"):
             choice = "ftpm"
         else:
             choice = "instant"
@@ -194,6 +195,8 @@ def build_run(
             )
             if spec.protocol == "pcl":
                 return PclProtocol(job, **kwargs)
+            if spec.protocol == "dcl":
+                return DclProtocol(job, **kwargs)
             return VclProtocol(job, scheduler_node=scheduler_node, **kwargs)
 
     run = FTRun(

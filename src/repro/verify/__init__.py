@@ -15,6 +15,9 @@ packet level for every monitored run:
 * Pcl never lets an application payload cross a channel between the marker
   and the local checkpoint (send gates / Nemesis stopper / delayed
   receives);
+* Dcl's counter quiescence really empties the network — no draining rank
+  commits a send, no pre-wave message is in flight when a rank forks, and
+  every drain converges within its budget;
 * the MPICH-V dispatcher's 3-sockets-per-process budget never exceeds the
   1024-descriptor ``select()`` wall;
 * the engine keeps making progress (no zero-time cascade livelock) and
@@ -37,6 +40,8 @@ Offline checking of a dumped trace: ``python -m repro.verify trace.jsonl``.
 
 from repro.verify.base import InvariantViolation, Monitor, MonitorBus
 from repro.verify.monitors import (
+    DclDrainLivenessMonitor,
+    DclNetworkEmptyMonitor,
     FdBudgetMonitor,
     FifoDeliveryMonitor,
     LivelockMonitor,
@@ -58,6 +63,8 @@ __all__ = [
     "VclNoOrphanMonitor",
     "VclLoggingMonitor",
     "PclFlushMonitor",
+    "DclNetworkEmptyMonitor",
+    "DclDrainLivenessMonitor",
     "FdBudgetMonitor",
     "LivelockMonitor",
     "WaveLivenessMonitor",

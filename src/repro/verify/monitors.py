@@ -20,6 +20,15 @@ Provenance of each invariant:
   (paper Sec. 3, Fig. 2): after the marker, no application payload crosses
   a channel until the local checkpoint completes — sends are gated (the
   Nemesis stopper) and receptions from marked sources are delayed.
+* **dcl-network-empty** — the message-drain protocol's defining property
+  (:mod:`repro.ft.dcl`): a draining rank commits no application send, and
+  when a rank forks its wave-*w* image no pre-wave-*w* application message
+  is still in flight anywhere — counter quiescence really emptied the
+  network, so the images alone form a consistent global state.
+* **dcl-drain-liveness** — counter quiescence terminates: every Dcl wave
+  reaches ``ft.drain_quiesced`` within :data:`repro.ft.dcl.DRAIN_BUDGET`
+  of its start (and before any rank forks or the wave commits); a drain
+  that never converges is a stalled wave, not a slow one.
 * **fd-budget** — the MPICH-V dispatcher's scalability wall (paper
   Sec. 5.4): 3 sockets per process multiplexed with ``select()``, whose fd
   set caps at 1024.
@@ -47,6 +56,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Set, Tuple
 
+from repro.ft.dcl import DRAIN_BUDGET
 from repro.sim.engine import DEFAULT_MAX_SAME_TIME_EVENTS
 from repro.sim.trace import TraceRecord
 from repro.verify.base import Monitor
@@ -57,6 +67,8 @@ __all__ = [
     "VclNoOrphanMonitor",
     "VclLoggingMonitor",
     "PclFlushMonitor",
+    "DclNetworkEmptyMonitor",
+    "DclDrainLivenessMonitor",
     "FdBudgetMonitor",
     "LivelockMonitor",
     "WaveLivenessMonitor",
@@ -501,6 +513,158 @@ class PclFlushMonitor(Monitor):
             self._reset()
 
 
+class DclNetworkEmptyMonitor(Monitor):
+    """Dcl network-empty-at-fork: the drain really drained.
+
+    Send side: a rank in the ``draining`` state must not commit an
+    application payload to the wire (its gates are closed — Pcl's very
+    machinery, so a bypass is the same bug class as a flush violation).
+    Fork side: when a rank takes its wave-*w* Dcl checkpoint, no
+    application message committed before the wave (send wave < *w*) may
+    still be undelivered anywhere — otherwise counter quiescence was
+    declared with bytes in flight and the images do not form a consistent
+    cut.  Post-resume sends of faster ranks carry wave *w* and are legal.
+    """
+
+    name = "dcl-network-empty"
+    categories = ("mpi.send", "mpi.deliver", "ft.local_checkpoint",
+                  "ft.restarted", "ft.failure_detected", "job.killed")
+
+    def __init__(self) -> None:
+        super().__init__()
+        #: (job, src, seq) -> sender's wave when the dcl send committed
+        self._outstanding: Dict[Tuple[str, int, int], int] = {}
+
+    def on_record(self, record: TraceRecord) -> None:
+        self.checked += 1
+        category = record.category
+        if category == "mpi.send":
+            if record.get("protocol") != "dcl":
+                return
+            if record.get("state") == "draining":
+                self.violation(
+                    record.time,
+                    f"rank {record.get('src')} committed application packet "
+                    f"#{record.get('seq')} ({record.get('nbytes', 0):.0f}B "
+                    f"to rank {record.get('dst')}) while draining wave "
+                    f"{record.get('wave')} — the drain request froze this "
+                    "rank's sends (send gates / Nemesis stopper bypassed)",
+                )
+            key = (record.get("job"), record.get("src"), record.get("seq"))
+            self._outstanding[key] = record.get("wave", 0)
+        elif category == "mpi.deliver":
+            self._outstanding.pop(
+                (record.get("job"), record.get("src"), record.get("seq")),
+                None)
+        elif category == "ft.local_checkpoint":
+            if record.get("protocol") != "dcl":
+                return
+            wave = record.get("wave", 0)
+            stale = [(key, w) for key, w in self._outstanding.items()
+                     if w < wave]
+            if stale:
+                (job, src, seq), send_wave = stale[0]
+                self.violation(
+                    record.time,
+                    f"rank {record.get('rank')} forked its wave-{wave} image "
+                    f"but packet #{seq} from rank {src} (sent at wave "
+                    f"{send_wave}, job {job}) is still in flight — counter "
+                    f"quiescence declared the network empty with "
+                    f"{len(stale)} undelivered pre-wave message(s)",
+                )
+        elif category == "job.killed":
+            job = record.get("job")
+            for key in [k for k in self._outstanding if k[0] == job]:
+                del self._outstanding[key]
+        else:  # ft.restarted / ft.failure_detected
+            self._outstanding.clear()
+
+
+class DclDrainLivenessMonitor(Monitor):
+    """Dcl drains terminate: quiescence lands within the watchdog budget.
+
+    Shares :data:`repro.ft.dcl.DRAIN_BUDGET` with the protocol (the same
+    pattern as :class:`LivelockMonitor` and the engine watchdog) so monitor
+    and implementation agree on what counts as a stalled drain.  A Dcl wave
+    must reach ``ft.drain_quiesced`` within the budget of its
+    ``ft.wave_started``, before any rank forks its image and before the
+    wave commits; a wave that ends the run still draining never converged.
+    """
+
+    name = "dcl-drain-liveness"
+    categories = ("ft.wave_started", "ft.drain_quiesced",
+                  "ft.local_checkpoint", "ft.wave_completed",
+                  "ft.wave_aborted")
+
+    def __init__(self, budget: Optional[float] = None) -> None:
+        super().__init__()
+        self.budget = budget if budget is not None else DRAIN_BUDGET
+        #: (wave, start time) of the open dcl wave, if any
+        self._open: Optional[Tuple[int, float]] = None
+        self._quiesced = False
+
+    def on_record(self, record: TraceRecord) -> None:
+        self.checked += 1
+        category = record.category
+        if category != "ft.drain_quiesced" and record.get("protocol") != "dcl":
+            return
+        wave = record.get("wave", 0)
+        if category == "ft.wave_started":
+            self._open = (wave, record.time)
+            self._quiesced = False
+        elif category == "ft.drain_quiesced":
+            if self._open is None or self._open[0] != wave:
+                self.violation(
+                    record.time,
+                    f"drain quiescence reported for wave {wave} but the open "
+                    f"dcl wave is "
+                    f"{self._open[0] if self._open else 'none'} — quiescence "
+                    "without a drain in progress",
+                )
+                return
+            elapsed = record.time - self._open[1]
+            if elapsed > self.budget:
+                self.violation(
+                    record.time,
+                    f"wave {wave} needed {elapsed:.3f}s to reach counter "
+                    f"quiescence, over the drain budget of {self.budget}s — "
+                    "the drain stalled (a counter report lost, or sends not "
+                    "actually frozen)",
+                )
+            self._quiesced = True
+        elif category == "ft.local_checkpoint":
+            if (self._open is not None and self._open[0] == wave
+                    and not self._quiesced):
+                self.violation(
+                    record.time,
+                    f"rank {record.get('rank')} forked its wave-{wave} image "
+                    "before the initiator declared counter quiescence — the "
+                    "checkpoint order outran the drain",
+                )
+        elif category == "ft.wave_completed":
+            if self._open is not None and self._open[0] == wave \
+                    and not self._quiesced:
+                self.violation(
+                    record.time,
+                    f"dcl wave {wave} committed without ever reaching "
+                    "counter quiescence",
+                )
+            self._open = None
+        else:  # ft.wave_aborted — a mid-drain death legally closes the wave
+            self._open = None
+
+    def finish(self) -> None:
+        if self._open is not None and not self._quiesced:
+            wave, started_at = self._open
+            self.violation(
+                started_at,
+                f"dcl wave {wave} started at t={started_at} and the run "
+                "finished with the drain still in progress — counter "
+                "quiescence never converged (stalled drain)",
+            )
+        self._open = None
+
+
 class FdBudgetMonitor(Monitor):
     """The dispatcher's select() budget: 3 sockets/process, 1024 fds."""
 
@@ -825,6 +989,8 @@ def all_monitors() -> list:
         VclNoOrphanMonitor(),
         VclLoggingMonitor(),
         PclFlushMonitor(),
+        DclNetworkEmptyMonitor(),
+        DclDrainLivenessMonitor(),
         FdBudgetMonitor(),
         LivelockMonitor(),
         WaveLivenessMonitor(),

@@ -8,6 +8,7 @@ from repro.chaos import (
     CampaignSpec,
     OK_VERDICTS,
     Scenario,
+    dcl_campaign,
     run_campaign,
     run_scenario,
     smoke_campaign,
@@ -20,8 +21,8 @@ from repro.chaos.__main__ import main as chaos_main
 def test_smoke_campaign_covers_acceptance_grid():
     campaign = smoke_campaign()
     scenarios = list(campaign)
-    assert len(scenarios) >= 36
-    assert {s.protocol for s in scenarios} == {"pcl", "vcl"}
+    assert len(scenarios) >= 48
+    assert {s.protocol for s in scenarios} == {"pcl", "vcl", "dcl"}
     assert {s.channel for s in scenarios} == {"ft_sock", "nemesis", "ch_v"}
     assert {s.procs_per_node for s in scenarios} == {1, 2}
     assert {s.kill for s in scenarios} == {"task", "node"}
@@ -33,6 +34,20 @@ def test_smoke_campaign_covers_acceptance_grid():
         {None, "server_kill", "image_corrupt"}
     assert any(s.expect == ("storage-unrecoverable",) for s in scenarios)
     # labels are unique: each scenario is addressable in reports and filters
+    labels = [s.label for s in scenarios]
+    assert len(set(labels)) == len(labels)
+
+
+def test_dcl_campaign_covers_the_drain_grid():
+    scenarios = list(dcl_campaign())
+    assert len(scenarios) == 12
+    assert {s.protocol for s in scenarios} == {"dcl"}
+    assert {s.channel for s in scenarios} == {"ft_sock", "nemesis"}
+    assert {(s.channel, s.procs_per_node) for s in scenarios} == \
+        {("ft_sock", 1), ("ft_sock", 2), ("nemesis", 2)}
+    assert {s.kill for s in scenarios} == {"task", "node"}
+    # inside the first drain wave and between waves
+    assert {s.kill_time for s in scenarios} == {1.7, 2.8}
     labels = [s.label for s in scenarios]
     assert len(set(labels)) == len(labels)
 
@@ -82,6 +97,16 @@ def test_killed_scenario_recovers():
     assert result.restarts == 1
     assert all(state["iteration"] == 10 and state["norm"] == 4
                for state in result.app_state)
+
+
+def test_dcl_killed_scenario_recovers():
+    # kill inside the first drain wave: send gates closed, counter reports
+    # in flight — the wave must abort and the restart replay correctly
+    result = run_scenario(Scenario(protocol="dcl", channel="ft_sock",
+                                   kill="task", victim=1, kill_time=1.7))
+    assert result.verdict == "recovered"
+    assert result.restarts == 1
+    assert result.monitors_ok is True
 
 
 def test_kill_during_bootstrap_recovers():
@@ -140,7 +165,7 @@ def test_campaign_report_artifacts(tmp_path):
 def test_cli_list_and_filter(capsys):
     assert chaos_main(["--list"]) == 0
     out = capsys.readouterr().out.strip().splitlines()
-    assert len(out) == 36
+    assert len(out) == 48
     assert chaos_main(["--list", "--filter", "nemesis"]) == 0
     filtered = capsys.readouterr().out.strip().splitlines()
     assert 0 < len(filtered) < 24

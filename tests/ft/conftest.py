@@ -5,7 +5,7 @@ import operator
 
 import pytest
 
-from repro.ft import FTRun, PclProtocol, VclProtocol, CheckpointServer
+from repro.ft import DclProtocol, FTRun, PclProtocol, VclProtocol, CheckpointServer
 from repro.mpi import FtSockChannel
 from repro.net import ClusterNetwork
 from repro.net.topology import Endpoint
@@ -57,6 +57,8 @@ def build_ft_run(
         )
         if protocol == "pcl":
             return PclProtocol(job, **kwargs)
+        if protocol == "dcl":
+            return DclProtocol(job, **kwargs)
         return VclProtocol(job, scheduler_node=scheduler_node, **kwargs)
 
     run = FTRun(

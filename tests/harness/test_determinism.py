@@ -50,7 +50,7 @@ def test_execute_twice_same_seed_is_byte_identical(procs_per_node):
 
 
 @pytest.mark.parametrize("procs_per_node", [None, 2])
-@pytest.mark.parametrize("protocol", ["pcl", "vcl"])
+@pytest.mark.parametrize("protocol", ["pcl", "vcl", "dcl"])
 def test_full_trace_twice_same_seed_is_byte_identical(tmp_path, protocol,
                                                       procs_per_node):
     """Two full-trace runs of one figure-style deployment: every record —
@@ -170,7 +170,8 @@ def test_server_kill_replicated_restart_trace_is_byte_identical(tmp_path):
 
 @pytest.mark.skipif(os.environ.get("REPRO_DETERMINISM") != "full",
                     reason="set REPRO_DETERMINISM=full for the figure sweep")
-@pytest.mark.parametrize("experiment_id", ["fig5", "fig6", "fig7"])
+@pytest.mark.parametrize("experiment_id", ["fig5", "fig6", "fig7",
+                                           "protocol_race"])
 def test_smoke_figure_twice_same_seed_is_byte_identical(experiment_id):
     runner = get_experiment(experiment_id)
     seed = int(os.environ.get("REPRO_SEED", "0"))

@@ -28,7 +28,7 @@ def _figure_id(path):
 
 
 def test_sweep_covers_every_committed_smoke_result():
-    assert len(GOLDEN_PATHS) >= 11, \
+    assert len(GOLDEN_PATHS) >= 12, \
         "golden smoke results missing from results/"
 
 

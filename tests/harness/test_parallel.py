@@ -105,6 +105,30 @@ def test_execute_grid_parallel_identical_to_sequential():
         json.dumps(par_ledger.verdicts, sort_keys=True)
 
 
+def test_execute_grid_parallel_identical_for_dcl():
+    """The drain protocol's runs pickle and re-seed like the others."""
+    tasks = [dict(_probe_kwargs(f"dcl-grid-{i}"), protocol="dcl")
+             for i in ("a", "b")]
+    seq = execute_grid(tasks, jobs=1)
+    par = execute_grid(tasks, jobs=2)
+    assert _grid_fingerprint(seq) == _grid_fingerprint(par)
+
+
+def test_protocol_race_parallel_identical_to_sequential(monkeypatch):
+    """The three-way figure is grid-built, so --jobs fans it out; the
+    resulting document must be byte-identical to the sequential one."""
+    from repro.harness import get_experiment
+
+    runner = get_experiment("protocol_race")
+    documents = []
+    for jobs in ("1", "4"):
+        monkeypatch.setenv(JOBS_ENV, jobs)
+        result = runner(get_profile("smoke", seed=0))
+        documents.append(json.dumps(result.as_dict(), sort_keys=True))
+    monkeypatch.delenv(JOBS_ENV)
+    assert documents[0] == documents[1]
+
+
 def test_campaign_parallel_identical_to_sequential():
     from repro.chaos.runner import run_campaign
     from repro.chaos.spec import CampaignSpec, Scenario
@@ -114,6 +138,8 @@ def test_campaign_parallel_identical_to_sequential():
             Scenario(protocol="pcl", channel="ft_sock", procs_per_node=2,
                      kill="task", victim=1, kill_time=1.7, seed=0),
             Scenario(protocol="pcl", channel="ft_sock", seed=0),
+            Scenario(protocol="dcl", channel="ft_sock", procs_per_node=2,
+                     kill="node", victim=1, kill_time=1.7, seed=0),
         ],
         name="mini",
     )

@@ -38,7 +38,7 @@ def _by_link(snapshot, name):
     return totals
 
 
-@given(protocol=st.sampled_from(["pcl", "vcl"]),
+@given(protocol=st.sampled_from(["pcl", "vcl", "dcl"]),
        seed=st.integers(0, 5),
        period=st.sampled_from([20.0, 30.0, 45.0]))
 @settings(max_examples=6, deadline=None)
@@ -71,7 +71,7 @@ def test_vcl_logged_bytes_match_protocol_stats(seed):
         assert logged >= 0.0
 
 
-@given(protocol=st.sampled_from(["pcl", "vcl"]), seed=st.integers(0, 5))
+@given(protocol=st.sampled_from(["pcl", "vcl", "dcl"]), seed=st.integers(0, 5))
 @settings(max_examples=6, deadline=None)
 def test_phase_timers_tile_every_wave(protocol, seed):
     tracer = Tracer(enabled=True, categories=("ft.wave_phase",))

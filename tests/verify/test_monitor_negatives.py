@@ -1,0 +1,375 @@
+"""Verifier verification: every shipped monitor fires on a corrupted trace.
+
+`test_deliberate_breaks` proves the monitors catch *protocol* sabotage
+end-to-end; this suite proves each monitor's own state machine is sound:
+for every monitor in :func:`repro.verify.all_monitors` it synthesizes a
+minimal trace (or engine pop stream), shows the clean variant passes, then
+applies one surgical corruption — a reordered event, a FIFO inversion, an
+orphan message, an unlogged in-transit message, a payload crossing a
+flushed/draining channel, a non-empty network at fork, a stalled drain, a
+blown fd budget, a zero-time cascade, a dangling wave, a lying fetch — and
+asserts exactly that monitor raises.
+
+The case table is keyed by monitor name, so
+``test_every_shipped_monitor_has_a_negative`` fails the moment a new
+monitor ships without a negative here.
+"""
+
+import pytest
+
+from repro.ft.dcl import DRAIN_BUDGET
+from repro.sim.trace import TraceRecord
+from repro.verify import InvariantViolation, all_monitors
+from repro.verify.monitors import (
+    DclDrainLivenessMonitor,
+    DclNetworkEmptyMonitor,
+    FdBudgetMonitor,
+    FifoDeliveryMonitor,
+    LivelockMonitor,
+    MonotoneClockMonitor,
+    PclFlushMonitor,
+    StorageDurabilityMonitor,
+    VclLoggingMonitor,
+    VclNoOrphanMonitor,
+    WaveLivenessMonitor,
+)
+
+pytestmark = pytest.mark.unmonitored  # no simulator runs here at all
+
+
+def rec(time, category, **fields):
+    return TraceRecord(time, category, tuple(fields.items()))
+
+
+def feed(monitor, records=(), steps=(), finish=False):
+    for step in steps:
+        monitor.on_step(*step)
+    for record in records:
+        monitor.on_record(record)
+    if finish:
+        monitor.finish()
+
+
+# --------------------------------------------------------------- case table
+#
+# Each case: the clean stream must pass (including finish()), and the
+# corrupt stream must raise an InvariantViolation matching ``match``.
+# ``steps`` feeds the engine's raw (time, priority, seq) pop stream.
+CASES = {
+    "monotone-clock": [
+        dict(
+            label="reordered-record",
+            clean=dict(records=[rec(0.5, "mpi.send"), rec(1.0, "mpi.send")]),
+            corrupt=dict(records=[rec(1.0, "mpi.send"), rec(0.5, "mpi.send")]),
+            match="clock ran backwards",
+        ),
+        dict(
+            label="reordered-pop",
+            # seq 3 was pushed before seq 5 at equal priority, so popping it
+            # *after* seq 5 at the same timestamp breaks the total order
+            clean=dict(steps=[(1.0, 1, 3), (1.0, 1, 5)]),
+            corrupt=dict(steps=[(1.0, 1, 5), (1.0, 1, 3)]),
+            match="total order broken",
+        ),
+    ],
+    "fifo-delivery": [
+        dict(
+            label="fifo-inversion",
+            clean=dict(records=[
+                rec(1.0, "mpi.deliver", job="j", rank=0, src=1, seq=1),
+                rec(1.1, "mpi.deliver", job="j", rank=0, src=1, seq=2),
+            ]),
+            corrupt=dict(records=[
+                rec(1.0, "mpi.deliver", job="j", rank=0, src=1, seq=2),
+                rec(1.1, "mpi.deliver", job="j", rank=0, src=1, seq=1),
+            ]),
+            match="FIFO delivery order broken",
+        ),
+        dict(
+            label="pipe-duplicate",
+            clean=dict(records=[
+                rec(1.0, "net.sent", pipe="a->b", msg=1),
+                rec(1.1, "net.delivered", pipe="a->b", msg=1),
+            ]),
+            corrupt=dict(records=[
+                rec(1.0, "net.sent", pipe="a->b", msg=1),
+                rec(1.1, "net.delivered", pipe="a->b", msg=1),
+                rec(1.2, "net.delivered", pipe="a->b", msg=1),
+            ]),
+            match="out-of-order",
+        ),
+    ],
+    "vcl-no-orphan": [
+        dict(
+            label="orphan-message",
+            # clean: the receiver snapshots wave 1 before the delivery
+            clean=dict(records=[
+                rec(1.0, "mpi.send", protocol="vcl", job="j", src=1, seq=4,
+                    wave=1),
+                rec(1.1, "ft.local_checkpoint", protocol="vcl", rank=0,
+                    wave=1),
+                rec(1.2, "mpi.deliver", job="j", rank=0, src=1, seq=4),
+            ]),
+            # corrupt: a post-snapshot send delivered pre-snapshot
+            corrupt=dict(records=[
+                rec(1.0, "mpi.send", protocol="vcl", job="j", src=1, seq=4,
+                    wave=1),
+                rec(1.2, "mpi.deliver", job="j", rank=0, src=1, seq=4),
+            ]),
+            match="orphan message",
+        ),
+    ],
+    "vcl-logging": [
+        dict(
+            label="unlogged-in-transit",
+            # clean: the in-transit message is copied to the daemon log
+            clean=dict(records=[
+                rec(1.0, "ft.logging_open", rank=0, peers=(1,), wave=1),
+                rec(1.1, "ft.logged", rank=0, src=1, seq=2, wave=1),
+                rec(1.2, "mpi.deliver", job="j", rank=0, src=1, seq=2),
+            ]),
+            # corrupt: same delivery crossing the cut, but no log entry
+            corrupt=dict(records=[
+                rec(1.0, "ft.logging_open", rank=0, peers=(1,), wave=1),
+                rec(1.2, "mpi.deliver", job="j", rank=0, src=1, seq=2),
+            ]),
+            match="not logged",
+        ),
+    ],
+    "pcl-flush": [
+        dict(
+            label="send-while-checkpointing",
+            # clean: the rank resumes before committing the next payload
+            clean=dict(records=[
+                rec(1.0, "ft.enter_wave", rank=0, wave=1),
+                rec(1.2, "ft.resume", rank=0, wave=1),
+                rec(1.3, "mpi.send", job="j", src=0, dst=1, seq=3,
+                    nbytes=100.0),
+            ]),
+            corrupt=dict(records=[
+                rec(1.0, "ft.enter_wave", rank=0, wave=1),
+                rec(1.1, "mpi.send", job="j", src=0, dst=1, seq=3,
+                    nbytes=100.0),
+            ]),
+            match="while checkpointing",
+        ),
+    ],
+    "dcl-network-empty": [
+        dict(
+            label="send-while-draining",
+            clean=dict(records=[
+                rec(1.0, "mpi.send", protocol="dcl", job="j", src=0, dst=1,
+                    seq=3, wave=1, state="normal", nbytes=100.0),
+            ]),
+            corrupt=dict(records=[
+                rec(1.0, "mpi.send", protocol="dcl", job="j", src=0, dst=1,
+                    seq=3, wave=1, state="draining", nbytes=100.0),
+            ]),
+            match="while draining",
+        ),
+        dict(
+            label="network-not-empty-at-fork",
+            # clean: the pre-wave send is delivered before any rank forks
+            clean=dict(records=[
+                rec(1.0, "mpi.send", protocol="dcl", job="j", src=1, dst=0,
+                    seq=9, wave=0, state="normal", nbytes=100.0),
+                rec(1.4, "mpi.deliver", job="j", rank=0, src=1, seq=9),
+                rec(1.5, "ft.local_checkpoint", protocol="dcl", rank=0,
+                    wave=1),
+            ]),
+            corrupt=dict(records=[
+                rec(1.0, "mpi.send", protocol="dcl", job="j", src=1, dst=0,
+                    seq=9, wave=0, state="normal", nbytes=100.0),
+                rec(1.5, "ft.local_checkpoint", protocol="dcl", rank=0,
+                    wave=1),
+            ]),
+            match="still in flight",
+        ),
+    ],
+    "dcl-drain-liveness": [
+        dict(
+            label="drain-over-budget",
+            clean=dict(records=[
+                rec(0.0, "ft.wave_started", protocol="dcl", wave=1),
+                rec(0.5, "ft.drain_quiesced", wave=1),
+                rec(1.0, "ft.wave_completed", protocol="dcl", wave=1),
+            ]),
+            corrupt=dict(records=[
+                rec(0.0, "ft.wave_started", protocol="dcl", wave=1),
+                rec(DRAIN_BUDGET + 1.0, "ft.drain_quiesced", wave=1),
+            ]),
+            match="over the drain budget",
+        ),
+        dict(
+            label="fork-before-quiescence",
+            clean=dict(records=[
+                rec(0.0, "ft.wave_started", protocol="dcl", wave=1),
+                rec(0.5, "ft.drain_quiesced", wave=1),
+                rec(0.6, "ft.local_checkpoint", protocol="dcl", rank=0,
+                    wave=1),
+                rec(1.0, "ft.wave_completed", protocol="dcl", wave=1),
+            ]),
+            corrupt=dict(records=[
+                rec(0.0, "ft.wave_started", protocol="dcl", wave=1),
+                rec(0.4, "ft.local_checkpoint", protocol="dcl", rank=0,
+                    wave=1),
+            ]),
+            match="outran the drain",
+        ),
+        dict(
+            label="stalled-drain",
+            # clean: an aborted wave legally ends the run mid-drain
+            clean=dict(records=[
+                rec(0.0, "ft.wave_started", protocol="dcl", wave=1),
+                rec(0.4, "ft.wave_aborted", protocol="dcl", wave=1),
+            ], finish=True),
+            corrupt=dict(records=[
+                rec(0.0, "ft.wave_started", protocol="dcl", wave=1),
+            ], finish=True),
+            match="stalled drain",
+        ),
+    ],
+    "fd-budget": [
+        dict(
+            label="select-wall",
+            clean=dict(records=[
+                rec(0.0, "runtime.validated", launcher="dispatcher",
+                    fd_limit=1024, sockets_per_process=3, reserved_fds=10,
+                    n_ranks=300),
+            ]),
+            corrupt=dict(records=[
+                rec(0.0, "runtime.validated", launcher="dispatcher",
+                    fd_limit=1024, sockets_per_process=3, reserved_fds=10,
+                    n_ranks=400),
+            ]),
+            match="fd limit",
+        ),
+    ],
+    "engine-liveness": [
+        dict(
+            label="zero-time-cascade",
+            factory=lambda: LivelockMonitor(max_same_time_events=32),
+            clean=dict(steps=[(i * 0.25, 1, i) for i in range(40)]),
+            corrupt=dict(steps=[(2.0, 1, i) for i in range(40)]),
+            match="livelock",
+        ),
+    ],
+    "wave-liveness": [
+        dict(
+            label="overlapping-waves",
+            clean=dict(records=[
+                rec(0.0, "ft.wave_started", protocol="pcl", wave=1),
+                rec(1.0, "ft.wave_completed", protocol="pcl", wave=1),
+                rec(2.0, "ft.wave_started", protocol="pcl", wave=2),
+                rec(3.0, "ft.wave_completed", protocol="pcl", wave=2),
+            ], finish=True),
+            corrupt=dict(records=[
+                rec(0.0, "ft.wave_started", protocol="pcl", wave=1),
+                rec(2.0, "ft.wave_started", protocol="pcl", wave=2),
+            ]),
+            match="still open",
+        ),
+        dict(
+            label="dangling-wave",
+            clean=dict(records=[
+                rec(0.0, "ft.wave_started", protocol="pcl", wave=1),
+                rec(1.0, "ft.wave_aborted", protocol="pcl", wave=1),
+            ], finish=True),
+            corrupt=dict(records=[
+                rec(0.0, "ft.wave_started", protocol="pcl", wave=1),
+            ], finish=True),
+            match="the wave hung",
+        ),
+    ],
+    "storage-durability": [
+        dict(
+            label="fetch-checksum-mismatch",
+            clean=dict(records=[
+                rec(1.0, "ft.replica_stored", server="cs0", wave=1, rank=0,
+                    checksum=111),
+                rec(2.0, "ft.fetch_ok", server="cs0", wave=1, rank=0,
+                    checksum=111),
+            ]),
+            corrupt=dict(records=[
+                rec(1.0, "ft.replica_stored", server="cs0", wave=1, rank=0,
+                    checksum=111),
+                rec(2.0, "ft.fetch_ok", server="cs0", wave=1, rank=0,
+                    checksum=222),
+            ]),
+            match="sealed replica recorded",
+        ),
+        dict(
+            label="fetch-from-dead-server",
+            clean=dict(records=[
+                rec(1.0, "ft.replica_stored", server="cs0", wave=1, rank=0,
+                    checksum=111),
+                rec(1.5, "ft.failure", kind="server", server="cs1"),
+                rec(2.0, "ft.fetch_ok", server="cs0", wave=1, rank=0,
+                    checksum=111),
+            ]),
+            corrupt=dict(records=[
+                rec(1.0, "ft.replica_stored", server="cs0", wave=1, rank=0,
+                    checksum=111),
+                rec(1.5, "ft.failure", kind="server", server="cs0"),
+                rec(2.0, "ft.fetch_ok", server="cs0", wave=1, rank=0,
+                    checksum=111),
+            ]),
+            match="already died",
+        ),
+    ],
+}
+
+_MONITOR_CLASSES = {
+    "monotone-clock": MonotoneClockMonitor,
+    "fifo-delivery": FifoDeliveryMonitor,
+    "vcl-no-orphan": VclNoOrphanMonitor,
+    "vcl-logging": VclLoggingMonitor,
+    "pcl-flush": PclFlushMonitor,
+    "dcl-network-empty": DclNetworkEmptyMonitor,
+    "dcl-drain-liveness": DclDrainLivenessMonitor,
+    "fd-budget": FdBudgetMonitor,
+    "engine-liveness": LivelockMonitor,
+    "wave-liveness": WaveLivenessMonitor,
+    "storage-durability": StorageDurabilityMonitor,
+}
+
+_ALL_CASES = [
+    (name, case) for name, cases in CASES.items() for case in cases
+]
+
+
+def _make(name, case):
+    factory = case.get("factory") or _MONITOR_CLASSES[name]
+    monitor = factory()
+    assert monitor.name == name
+    return monitor
+
+
+@pytest.mark.parametrize(
+    "name,case", _ALL_CASES,
+    ids=[f"{name}-{case['label']}" for name, case in _ALL_CASES])
+def test_clean_stream_passes(name, case):
+    """The uncorrupted twin of each negative is accepted (minimality)."""
+    monitor = _make(name, case)
+    clean = dict(case["clean"])
+    clean.setdefault("finish", True)
+    feed(monitor, **clean)  # must not raise
+    assert monitor.checked > 0
+
+
+@pytest.mark.parametrize(
+    "name,case", _ALL_CASES,
+    ids=[f"{name}-{case['label']}" for name, case in _ALL_CASES])
+def test_corrupted_stream_fires(name, case):
+    monitor = _make(name, case)
+    with pytest.raises(InvariantViolation, match=case["match"]) as err:
+        feed(monitor, **case["corrupt"])
+    assert err.value.monitor == name
+
+
+def test_every_shipped_monitor_has_a_negative():
+    shipped = {monitor.name for monitor in all_monitors()}
+    assert shipped == set(CASES), (
+        "every monitor in all_monitors() needs a negative case here "
+        f"(missing: {shipped - set(CASES)}, stale: {set(CASES) - shipped})"
+    )
