@@ -1,0 +1,5 @@
+"""Regenerate the survivor-recovery ablation (see repro.harness.figures.recovery)."""
+
+
+def test_recovery(regenerate):
+    regenerate("recovery")

@@ -11,6 +11,7 @@ from repro.apps.cg import CG
 from repro.apps.ftb import FTBench
 from repro.apps.lu import LU
 from repro.apps.mg import MG
+from repro.apps.stencil import Stencil
 from repro.apps.synthetic import burst, halo_2d, ping_pong, token_ring
 
 BENCHMARKS = {
@@ -19,6 +20,7 @@ BENCHMARKS = {
     "ft": FTBench,
     "lu": LU,
     "mg": MG,
+    "stencil": Stencil,
 }
 
 __all__ = [
@@ -30,6 +32,7 @@ __all__ = [
     "MG",
     "NASBenchmark",
     "NASClassSpec",
+    "Stencil",
     "burst",
     "halo_2d",
     "isqrt_exact",

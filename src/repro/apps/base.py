@@ -53,6 +53,9 @@ class NASBenchmark:
 
     name = "nas"
     CLASSES: Dict[str, NASClassSpec] = {}
+    #: True when the kernel re-decomposes over any rank count mid-run — the
+    #: prerequisite for the "shrink" recovery policy
+    malleable = False
 
     def __init__(self, klass: str = "B", scale: float = 1.0,
                  compute_jitter: float = 0.02) -> None:

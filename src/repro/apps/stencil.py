@@ -1,0 +1,78 @@
+"""Stencil — a malleable 1-D halo-exchange kernel.
+
+Unlike the NPB skeletons, whose decompositions are baked into a process
+grid (BT needs a perfect square, CG a power of two), this Jacobi-style
+stencil decomposes a 1-D domain over *any* number of ranks: each rank owns
+``problem_size**2 / p`` cells and trades one halo line with each ring
+neighbour per iteration.  That flexibility is what the ``shrink`` recovery
+policy needs — after a failure the survivors re-decompose the same domain
+over the smaller communicator and resume from the last committed iteration
+boundary (``resume_iteration`` in the rank state), like a malleable /
+moldable MPI application under ULFM.
+
+Total work is conserved across a shrink: per-iteration compute is the
+serial time divided by the *current* rank count, so a 3-rank resumption of
+a 4-rank run costs 4/3 per iteration — the figure's shrink series shows
+exactly that trade.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.apps.base import NASBenchmark, NASClassSpec
+
+__all__ = ["Stencil"]
+
+#: doubles per halo cell: the solution line plus the coefficient line
+_HALO_DOUBLES = 2
+
+
+class Stencil(NASBenchmark):
+    """The malleable stencil kernel."""
+
+    name = "stencil"
+    malleable = True
+    CLASSES = {
+        "A": NASClassSpec("A", 512, 200, 900.0, 0.2e9),
+        "B": NASClassSpec("B", 1024, 200, 3600.0, 0.8e9),
+        "C": NASClassSpec("C", 2048, 200, 14400.0, 3.2e9),
+    }
+
+    def validate_procs(self, p: int) -> None:
+        if p < 1:
+            raise ValueError("stencil needs at least one rank")
+
+    def halo_bytes(self, p: int) -> float:
+        """Bytes exchanged with one ring neighbour per iteration (one halo
+        line of the 1-D strip decomposition; independent of ``p``)."""
+        return _HALO_DOUBLES * 8.0 * self.klass.problem_size
+
+    def make_app(self, p: int) -> Callable:
+        self.validate_procs(p)
+        n_iters = self.iterations()
+        halo = self.halo_bytes(p)
+        compute = self.compute_seconds_per_iteration(p)
+
+        def app(ctx):
+            jitter = self._jitter(ctx)
+            right = (ctx.rank + 1) % ctx.size
+            left = (ctx.rank - 1) % ctx.size
+            # a shrink resumption starts at the last iteration boundary
+            # every committed image had reached; a fresh start sees 0
+            start = ctx.state.get("resume_iteration", 0)
+            for iteration in range(start, n_iters):
+                if ctx.size > 1:
+                    forward = ctx.isend(right, 7, None, halo)
+                    backward = ctx.isend(left, 8, None, halo)
+                    yield from ctx.recv(left, 7)
+                    yield from ctx.recv(right, 8)
+                    yield from forward.wait()
+                    yield from backward.wait()
+                yield from ctx.compute(compute * jitter)
+                ctx.update(lambda s, i=iteration: s.__setitem__("iteration", i + 1))
+            # verification: one residual contribution per surviving rank
+            norm = yield from ctx.allreduce(1, lambda a, b: a + b, nbytes=8)
+            ctx.update(lambda s, n=norm: s.__setitem__("norm", float(n)))
+
+        return app

@@ -16,8 +16,9 @@ riding along, and every run is classified into a verdict:
     final result is still correct.
 ``recovered-degraded``
     Recovered with the correct result, but the restart had to route around
-    storage damage: replica fetch retries and/or a fallback to an older
-    committed wave.
+    storage damage (replica fetch retries and/or a fallback to an older
+    committed wave) or a survivor recovery policy had to fall back to the
+    paper's full restart (spare-pool exhaustion, non-malleable app).
 ``wrong-result``
     The run finished but the application state is wrong or an invariant
     monitor flagged the run.
@@ -40,10 +41,12 @@ Run the standard smoke campaign::
 
     python -m repro.chaos --smoke --out results/chaos
 
-or just the storage-resilience or message-drain (Dcl) slices::
+or just the storage-resilience, message-drain (Dcl) or cascading-failure
+recovery slices::
 
     python -m repro.chaos --storage --out results/chaos
     python -m repro.chaos --dcl --out results/chaos
+    python -m repro.chaos --recovery --policy spare --out results/chaos
 
 See ``docs/CHAOS.md`` for the full knob reference.
 """
@@ -57,10 +60,12 @@ from repro.chaos.runner import (
     run_scenario,
 )
 from repro.chaos.spec import (
+    RECOVERY_POLICIES,
     STORAGE_FAULTS,
     CampaignSpec,
     Scenario,
     dcl_campaign,
+    recovery_campaign,
     smoke_campaign,
     storage_campaign,
 )
@@ -70,10 +75,12 @@ __all__ = [
     "CampaignResult",
     "CampaignSpec",
     "OK_VERDICTS",
+    "RECOVERY_POLICIES",
     "STORAGE_FAULTS",
     "Scenario",
     "ScenarioResult",
     "dcl_campaign",
+    "recovery_campaign",
     "run_campaign",
     "run_scenario",
     "smoke_campaign",

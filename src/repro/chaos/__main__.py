@@ -20,7 +20,13 @@ from typing import List, Optional
 
 from repro.chaos.report import write_report
 from repro.chaos.runner import run_campaign
-from repro.chaos.spec import dcl_campaign, smoke_campaign, storage_campaign
+from repro.chaos.spec import (
+    RECOVERY_POLICIES,
+    dcl_campaign,
+    recovery_campaign,
+    smoke_campaign,
+    storage_campaign,
+)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -41,6 +47,15 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--dcl", action="store_true",
                         help="run only the 12 message-drain (Dcl) "
                              "scenarios")
+    parser.add_argument("--recovery", action="store_true",
+                        help="run only the 30 cascading-failure recovery "
+                             "scenarios (double faults, kills inside a "
+                             "recovery, spare exhaustion; see "
+                             "docs/RECOVERY.md)")
+    parser.add_argument("--policy", default=None, choices=RECOVERY_POLICIES,
+                        help="only run scenarios using this recovery "
+                             "policy (restart scenarios carry no label "
+                             "marker, so use this rather than --filter)")
     parser.add_argument("--seed", type=int, default=0,
                         help="root seed for every scenario (default 0)")
     parser.add_argument("--out", default="results/chaos",
@@ -67,10 +82,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         campaign = storage_campaign(seed=args.seed)
     elif args.dcl:
         campaign = dcl_campaign(seed=args.seed)
+    elif args.recovery:
+        campaign = recovery_campaign(seed=args.seed)
     else:
         campaign = smoke_campaign(seed=args.seed)  # --smoke is the default
     if args.filter:
         campaign = campaign.filtered(args.filter)
+    if args.policy:
+        campaign = campaign.with_policy(args.policy)
     if args.list:
         for scenario in campaign:
             print(scenario.label)

@@ -61,6 +61,10 @@ class ScenarioResult:
     #: repro.obs metrics snapshot (empty unless the run collected metrics,
     #: i.e. REPRO_METRICS was set)
     metrics: Dict = field(default_factory=dict)
+    #: what the failure injector actually did: typed records
+    #: ``{"time", "kind", "target"}`` (a node kill expands into per-task
+    #: kills; a kill landing after completion records nothing)
+    injected_kills: List[dict] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -80,6 +84,8 @@ class ScenarioResult:
             "restarts": self.restarts,
             "monitors_ok": self.monitors_ok,
         }
+        if self.injected_kills:
+            doc["injected_kills"] = self.injected_kills
         if self.metrics:
             doc["metrics"] = self.metrics
         return doc
@@ -99,7 +105,17 @@ def _expected_state(scenario: Scenario, bench) -> Dict[str, float]:
 def _check_result(scenario: Scenario, bench, result) -> Optional[str]:
     """Return a wrong-result explanation, or None when the run is correct."""
     expected = _expected_state(scenario, bench)
-    for rank, state in enumerate(result.meta.get("app_state", [])):
+    app_state = result.meta.get("app_state", [])
+    if scenario.policy == "shrink":
+        # A shrink drops the failed ranks: fewer survivors finish, and the
+        # verification allreduce sums over the *current* size.  (A shrink
+        # that degraded to a full restart keeps all n_procs ranks — the
+        # expectation below covers that too.)
+        if not 1 <= len(app_state) <= scenario.n_procs:
+            return (f"shrink left {len(app_state)} rank(s), expected "
+                    f"1..{scenario.n_procs}")
+        expected["norm"] = float(len(app_state))
+    for rank, state in enumerate(app_state):
         for key, want in expected.items():
             got = state.get(key)
             if got != want:
@@ -133,6 +149,7 @@ def run_scenario(
         time_limit = time_limit_factor * bench.expected_time(scenario.n_procs)
     kills = ([(scenario.kill, scenario.victim, scenario.kill_time)]
              if scenario.kill is not None else [])
+    kills += [tuple(kill) for kill in scenario.extra_kills]
     storage_faults = []
     if scenario.storage_fault is not None:
         # server_kill targets a server; image_corrupt additionally names
@@ -161,6 +178,8 @@ def run_scenario(
             ckpt_replication=scenario.replication,
             ckpt_gc_keep=scenario.gc_keep,
             storage_faults=storage_faults,
+            policy=scenario.policy,
+            spares=scenario.spares,
             watchdog=True,
         )
     except LivelockError as error:
@@ -189,13 +208,19 @@ def run_scenario(
     elif result.stats.restarts > 0:
         detail = (f"{result.stats.failures} failure(s), "
                   f"{result.stats.restarts} restart(s)")
-        degraded = result.stats.fetch_retries or result.stats.wave_fallbacks
+        degraded = (result.stats.fetch_retries
+                    or result.stats.wave_fallbacks
+                    or result.stats.policy_degradations)
         if degraded:
             # correct result, but the restart had to route around storage
             # damage (replica retries and/or a fallback to an older wave)
+            # or the recovery policy fell back to a full restart
             verdict = "recovered-degraded"
             detail += (f", {result.stats.fetch_retries} fetch retrie(s), "
                        f"{result.stats.wave_fallbacks} wave fallback(s)")
+            if result.stats.policy_degradations:
+                detail += (f", {result.stats.policy_degradations} policy "
+                           f"degradation(s)")
         else:
             verdict = "recovered"
     else:
@@ -209,6 +234,7 @@ def run_scenario(
         app_state=result.meta.get("app_state", []),
         events=int(result.meta.get("events", 0)),
         metrics=result.meta.get("metrics", {}),
+        injected_kills=result.meta.get("injected_kills", []),
     )
 
 

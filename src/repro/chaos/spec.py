@@ -25,8 +25,10 @@ __all__ = [
     "smoke_campaign",
     "storage_campaign",
     "dcl_campaign",
+    "recovery_campaign",
     "KILL_KINDS",
     "STORAGE_FAULTS",
+    "RECOVERY_POLICIES",
 ]
 
 #: valid failure kinds; None in a scenario means "no failure injected"
@@ -34,6 +36,9 @@ KILL_KINDS = ("task", "node")
 
 #: valid storage-tier faults; None means "storage stays healthy"
 STORAGE_FAULTS = ("server_kill", "image_corrupt")
+
+#: recovery strategies after a failure (see docs/RECOVERY.md)
+RECOVERY_POLICIES = ("restart", "spare", "shrink")
 
 #: the paper's channel(s) for each protocol implementation (see
 #: :func:`repro.harness.runner.default_channel`; Nemesis is the MPICH2
@@ -77,6 +82,15 @@ class Scenario:
     storage_victim: int = 0
     #: simulated seconds at which the storage fault fires
     storage_time: float = 0.0
+    #: recovery strategy: "restart" (the paper's full rollback), "spare"
+    #: (promote pre-allocated spares) or "shrink" (survivors re-decompose)
+    policy: str = "restart"
+    #: pre-allocated spare nodes for the "spare" policy
+    spares: int = 0
+    #: additional kills after the first: ("task" | "node", rank, at)
+    #: triples — cascading/correlated failures, including kills landing
+    #: inside an in-progress recovery
+    extra_kills: Tuple[Tuple[str, int, float], ...] = ()
     #: when non-empty, *these* verdicts count as ok instead of OK_VERDICTS —
     #: e.g. a K=1 server kill is expected to end "storage-unrecoverable"
     expect: Tuple[str, ...] = ()
@@ -107,6 +121,20 @@ class Scenario:
                 f"({self.n_servers}), got {self.replication}")
         if self.gc_keep < 1:
             raise ValueError("gc_keep must be >= 1")
+        if self.policy not in RECOVERY_POLICIES:
+            raise ValueError(f"unknown recovery policy {self.policy!r} "
+                             f"(expected one of {RECOVERY_POLICIES})")
+        if self.spares < 0:
+            raise ValueError("spares must be >= 0")
+        for kind, victim, at in self.extra_kills:
+            if kind not in KILL_KINDS:
+                raise ValueError(f"unknown extra kill kind {kind!r} "
+                                 f"(expected one of {KILL_KINDS})")
+            if not 0 <= victim < self.n_procs:
+                raise ValueError(f"extra kill victim {victim} outside job "
+                                 f"of {self.n_procs} processes")
+            if at < 0:
+                raise ValueError("extra kill time must be >= 0")
 
     @property
     def label(self) -> str:
@@ -115,6 +143,12 @@ class Scenario:
             fault = "nokill"
         else:
             fault = f"{self.kill}-r{self.victim}@{self.kill_time:g}"
+        for kind, victim, at in self.extra_kills:
+            fault += f"+{kind}-r{victim}@{at:g}"
+        if self.policy != "restart":
+            fault += f"-{self.policy}"
+        if self.spares:
+            fault += f"-sp{self.spares}"
         storage = ""
         if self.replication != 1:
             storage += f"-K{self.replication}"
@@ -123,7 +157,9 @@ class Scenario:
         if self.storage_fault is not None:
             storage += (f"-{self.storage_fault}-cs{self.storage_victim}"
                         f"@{self.storage_time:g}")
-        return (f"{self.protocol}-{self.channel}-ppn{self.procs_per_node}"
+        bench = "" if self.bench == "bt" else f"-{self.bench}"
+        return (f"{self.protocol}-{self.channel}{bench}"
+                f"-ppn{self.procs_per_node}"
                 f"-{fault}{storage}-s{self.seed}")
 
     def to_dict(self) -> dict:
@@ -135,6 +171,10 @@ class Scenario:
         # JSON round-trips tuples as lists
         if "expect" in data:
             data["expect"] = tuple(data["expect"])
+        if "extra_kills" in data:
+            data["extra_kills"] = tuple(
+                (kind, victim, at)
+                for kind, victim, at in data["extra_kills"])
         return cls(**data)
 
 
@@ -158,6 +198,17 @@ class CampaignSpec:
         """Sub-campaign of the scenarios whose label contains ``substring``."""
         return CampaignSpec(
             scenarios=[s for s in self.scenarios if substring in s.label],
+            name=self.name,
+            time_limit_factor=self.time_limit_factor,
+        )
+
+    def with_policy(self, policy: str) -> "CampaignSpec":
+        """Sub-campaign of the scenarios using one recovery ``policy``."""
+        if policy not in RECOVERY_POLICIES:
+            raise ValueError(f"unknown recovery policy {policy!r} "
+                             f"(expected one of {RECOVERY_POLICIES})")
+        return CampaignSpec(
+            scenarios=[s for s in self.scenarios if s.policy == policy],
             name=self.name,
             time_limit_factor=self.time_limit_factor,
         )
@@ -274,6 +325,67 @@ def dcl_campaign(seed: int = 0) -> CampaignSpec:
     )
     sweep.scenarios.extend(nemesis.scenarios)
     return sweep
+
+
+def recovery_campaign(seed: int = 0) -> CampaignSpec:
+    """Survivor-recovery chaos: cascading and correlated failures, 30
+    scenarios (10 per protocol family).
+
+    Exercises every recovery policy under the failure shapes that a single
+    kill never produces: double faults coalescing into one membership
+    agreement round, kills landing *inside* an in-progress recovery (at
+    the restore midpoint), back-to-back failures hitting the freshly
+    relaunched incarnation, and spare-pool exhaustion — which must degrade
+    gracefully to the paper's full restart (``recovered-degraded``), never
+    hang.  Shrink scenarios run the malleable stencil; the shrink of a
+    non-malleable benchmark is *expected* to degrade.
+    """
+    combos = (("pcl", "ft_sock"), ("vcl", "ch_v"), ("dcl", "ft_sock"))
+    scenarios = []
+    for protocol, channel in combos:
+        common = dict(protocol=protocol, channel=channel, seed=seed)
+        stencil = dict(bench="stencil", klass="A", **common)
+        scenarios += [
+            # double task fault, coalesced into one agreement round
+            Scenario(kill="task", victim=1, kill_time=2.8,
+                     extra_kills=(("task", 2, 2.8001),),
+                     policy="spare", spares=2, **common),
+            # correlated double node fault onto the spare pool
+            Scenario(kill="node", victim=1, kill_time=2.8,
+                     extra_kills=(("node", 2, 2.8001),),
+                     policy="spare", spares=2, **common),
+            # node kill inside the in-progress recovery (restore midpoint)
+            Scenario(kill="node", victim=1, kill_time=2.8,
+                     extra_kills=(("node", 2, 2.85),),
+                     policy="spare", spares=2, **common),
+            # task kill inside the in-progress recovery
+            Scenario(kill="node", victim=1, kill_time=2.8,
+                     extra_kills=(("task", 2, 2.85),),
+                     policy="spare", spares=2, **common),
+            # back-to-back failures: the second hits the fresh incarnation
+            Scenario(kill="node", victim=1, kill_time=2.8,
+                     extra_kills=(("node", 2, 3.4),),
+                     policy="spare", spares=2, **common),
+            # spare-pool exhaustion must degrade to full restart, not hang
+            Scenario(kill="node", victim=1, kill_time=2.8,
+                     extra_kills=(("node", 2, 2.8001),),
+                     policy="spare", spares=1,
+                     expect=("recovered-degraded",), **common),
+            # shrink: survivors re-decompose the malleable stencil
+            Scenario(kill="node", victim=1, kill_time=2.8,
+                     policy="shrink", **stencil),
+            Scenario(kill="node", victim=1, kill_time=2.8,
+                     extra_kills=(("node", 2, 2.8001),),
+                     policy="shrink", **stencil),
+            # shrinking a non-malleable benchmark degrades to full restart
+            Scenario(kill="node", victim=1, kill_time=2.8,
+                     policy="shrink",
+                     expect=("recovered-degraded",), **common),
+            # kill inside the baseline full restart's own recovery
+            Scenario(kill="node", victim=1, kill_time=2.8,
+                     extra_kills=(("node", 2, 2.85),), **common),
+        ]
+    return CampaignSpec(scenarios=scenarios, name="recovery")
 
 
 def smoke_campaign(seed: int = 0) -> CampaignSpec:

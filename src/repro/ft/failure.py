@@ -12,13 +12,36 @@ checkpoint-server machine down (its stored replicas die with it), and
 :meth:`FailureInjector.corrupt_image` silently damages one stored replica —
 the corruption surfaces only when a restore verifies the checksum, like
 latent media corruption.
+
+Every executed injection is appended to :attr:`FailureInjector.kills` as a
+typed :class:`KillRecord`, which chaos reports surface verbatim.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from dataclasses import dataclass
+from typing import Any, List, Optional
 
-__all__ = ["FailureInjector"]
+__all__ = ["FailureInjector", "KillRecord"]
+
+
+@dataclass(frozen=True)
+class KillRecord:
+    """One executed fault injection.
+
+    ``kind`` is ``task``/``node``/``server``/``corrupt``; ``target`` is the
+    victim rank for task and node kills, the server name for server kills,
+    and a ``(server, rank, wave)`` triple for corruptions.
+    """
+
+    time: float
+    kind: str
+    target: Any
+
+    def as_dict(self) -> dict:
+        target = list(self.target) if isinstance(self.target, tuple) \
+            else self.target
+        return {"time": self.time, "kind": self.kind, "target": target}
 
 
 class FailureInjector:
@@ -29,7 +52,7 @@ class FailureInjector:
         self.sim = sim
         self.net = net
         self.local_images = local_images
-        self.kills: list = []
+        self.kills: List[KillRecord] = []
 
     # ------------------------------------------------------------ immediate
     def kill_task(self, job: "MPIJob", rank: int) -> None:
@@ -37,7 +60,7 @@ class FailureInjector:
         if job.killed or not (0 <= rank < job.size):
             return
         self.sim.trace.record(self.sim.now, "ft.failure", kind="task", rank=rank)
-        self.kills.append((self.sim.now, "task", rank))
+        self.kills.append(KillRecord(self.sim.now, "task", rank))
         channel = job.channels[rank]
         endpoint_protocol = channel.protocol
         channel.shutdown()  # breaks every socket of this task
@@ -57,13 +80,26 @@ class FailureInjector:
         # detection was immediate").
         job.notify_socket_closed(rank, None)
 
-    def kill_node(self, job: "MPIJob", rank: int) -> None:
-        """Kill the whole machine hosting ``rank`` (disk contents lost)."""
-        if job.killed or not (0 <= rank < job.size):
+    def kill_node(self, job: "MPIJob", rank: int,
+                  node: Optional["Node"] = None) -> None:
+        """Kill the whole machine hosting ``rank`` (disk contents lost).
+
+        The machine dies even when the job is already down — a kill landing
+        inside an in-progress recovery must still take the node, its local
+        images and its connections with it, or the relaunch would happily
+        target a dead machine.  Only the per-task teardown is skipped for a
+        killed job (those processes are already gone).  ``node`` overrides
+        the victim machine (the caller's current endpoint placement may
+        differ from the dying incarnation's after a spare promotion).
+        """
+        if not (0 <= rank < job.size):
             return
-        node = job.endpoints[rank].node
+        if node is None:
+            node = job.endpoints[rank].node
+        if not node.alive:
+            return
         self.sim.trace.record(self.sim.now, "ft.failure", kind="node", node=node.name)
-        self.kills.append((self.sim.now, "node", rank))
+        self.kills.append(KillRecord(self.sim.now, "node", rank))
         if self.local_images is not None:
             self.local_images.drop_node(node.name)
         # every rank on that node dies
@@ -84,7 +120,7 @@ class FailureInjector:
             return
         self.sim.trace.record(self.sim.now, "ft.failure", kind="server",
                               server=server.name, node=server.node.name)
-        self.kills.append((self.sim.now, "server", server.name))
+        self.kills.append(KillRecord(self.sim.now, "server", server.name))
         server.shutdown()
         self.net.fail_node(server.node)
 
@@ -109,7 +145,8 @@ class FailureInjector:
         image.corrupt()
         self.sim.trace.record(self.sim.now, "ft.image_corrupted",
                               server=server.name, rank=rank, wave=wave)
-        self.kills.append((self.sim.now, "corrupt", (server.name, rank, wave)))
+        self.kills.append(
+            KillRecord(self.sim.now, "corrupt", (server.name, rank, wave)))
 
     # ------------------------------------------------------------- scheduled
     def schedule_task_kill(self, job: "MPIJob", rank: int, at: float) -> None:

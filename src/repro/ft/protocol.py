@@ -46,6 +46,13 @@ class FTStats:
         self.fetch_retries = 0
         #: restarts that had to fall back past the newest committed wave
         self.wave_fallbacks = 0
+        #: spare-pool nodes promoted to replace dead machines
+        self.spares_promoted = 0
+        #: shrink recoveries (the job re-decomposed over the survivors)
+        self.shrinks = 0
+        #: survivor-policy recoveries that degraded to a full restart
+        #: (spare-pool exhaustion, non-malleable app, cascading kills)
+        self.policy_degradations = 0
 
     def wave_durations(self) -> List[float]:
         return [end - start for _w, start, end in self.wave_records]

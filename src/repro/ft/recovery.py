@@ -31,6 +31,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.ft.failure import FailureInjector
 from repro.ft.image import CheckpointImage
+from repro.ft.membership import MembershipTracker
 from repro.ft.protocol import FTStats, LocalImageStore
 from repro.ft.server import CheckpointServer, assign_replicas, assign_servers
 from repro.mpi.job import MPIJob
@@ -115,9 +116,16 @@ class FTRun:
         max_restarts: int = 16,
         replication: int = 1,
         fetch_policy: Optional[FetchPolicy] = None,
+        recovery_policy: str = "restart",
+        spare_pool: Optional[Sequence] = None,
+        malleable_app_factory: Optional[Callable[[int], Callable]] = None,
+        suspicion_window: Optional[float] = None,
+        membership_ballots: int = 4,
     ) -> None:
         if restart_policy not in ("same-node", "spare"):
             raise ValueError(f"unknown restart policy {restart_policy!r}")
+        if recovery_policy not in ("restart", "spare", "shrink"):
+            raise ValueError(f"unknown recovery policy {recovery_policy!r}")
         self.sim = sim
         self.net = net
         self.endpoints = list(endpoints)
@@ -140,6 +148,15 @@ class FTRun:
         self.name = name
         self.restart_policy = restart_policy
         self.max_restarts = max_restarts
+        #: survivor-recovery strategy: "restart" (kill everything, the
+        #: paper's model), "spare" (promote pre-allocated spare machines,
+        #: survivors keep their sockets), "shrink" (survivors renumber and
+        #: the app re-decomposes — needs ``malleable_app_factory``)
+        self.recovery_policy = recovery_policy
+        self.spare_pool = list(spare_pool or [])
+        self.malleable_app_factory = malleable_app_factory
+        self.suspicion_window = suspicion_window
+        self.membership_ballots = membership_ballots
 
         self.stats = FTStats()
         self.local_images = LocalImageStore()
@@ -150,6 +167,10 @@ class FTRun:
         self._incarnation = 0
         self._handling_failure = False
         self._started_at = 0.0
+        #: live agreement round, set while a survivor recovery is deciding
+        #: the failed set; later socket-closure signals fold into it
+        self._membership: Optional[MembershipTracker] = None
+        self._next_ballot = 1
 
     def use_site_server_map(self, mapping: Dict[int, CheckpointServer]) -> None:
         """Override the round-robin primary assignment (e.g. Grid'5000 site
@@ -187,12 +208,16 @@ class FTRun:
         self._launch(snapshots=None, logs=None, first=True)
 
     def _launch(self, snapshots, logs, first: bool,
-                restored_wave: Optional[int] = None) -> None:
+                restored_wave: Optional[int] = None,
+                inherited_links=None,
+                start_delays: Optional[Sequence[float]] = None,
+                seed_state: Optional[Dict] = None) -> None:
         self._incarnation += 1
         job = MPIJob(
             self.sim, self.net, self.endpoints, self.app_factory,
             self.channel_cls, name=f"{self.name}#{self._incarnation}",
             image_bytes=self.image_bytes,
+            inherited_links=inherited_links,
         )
         self.job = job
         self._handling_failure = False
@@ -203,7 +228,14 @@ class FTRun:
             self.protocol = self.protocol_factory(job, self)
             self.protocol.start_wave = committed + 1
             self.protocol.install()
-        delays = self.launcher.spawn_delays(len(self.endpoints))
+        if seed_state:
+            # shrink: every fresh context learns the iteration the surviving
+            # decomposition resumes from (no snapshot restore — the app
+            # re-decomposes and recomputes from that boundary)
+            for context in job.contexts:
+                context.state.update(seed_state)
+        delays = (list(start_delays) if start_delays is not None
+                  else self.launcher.spawn_delays(len(self.endpoints)))
         job.start(snapshots=snapshots, start_delays=delays)
         if logs:
             # Vcl: the daemons replay the logged in-transit messages; they
@@ -259,7 +291,13 @@ class FTRun:
         if kind == "task":
             self.injector.kill_task(self.job, rank)
         else:
-            self.injector.kill_node(self.job, rank)
+            if rank >= len(self.endpoints):
+                return  # the job shrank below the victim rank
+            # resolve the victim machine through the *current* placement —
+            # after a spare promotion the live job's rank may sit on a
+            # different node than the incarnation the kill was aimed at
+            self.injector.kill_node(self.job, rank,
+                                    node=self.endpoints[rank].node)
 
     def _server_kill_now(self, index: int) -> None:
         if self.completed.triggered or not self.servers:
@@ -317,14 +355,40 @@ class FTRun:
             self.protocol.request_wave()
 
     def _on_failure_signal(self, rank: int, peer: Optional[int]) -> None:
-        """Unexpected socket closure observed; first signal wins."""
-        if self._handling_failure or self.completed.triggered:
+        """Unexpected socket closure observed; first signal wins.
+
+        With a survivor policy, the first signal opens a membership
+        agreement round and later signals — including those from a
+        cascading failure — fold into it as suspicions instead of starting
+        competing recoveries.
+        """
+        if self.completed.triggered:
+            return
+        if self._handling_failure:
+            if self._membership is not None:
+                self._membership.observe(rank, peer)
             return
         self._handling_failure = True
         self.stats.failures += 1
         self.sim.trace.record(self.sim.now, "ft.failure_detected",
                               incarnation=self._incarnation)
-        self.sim.process(self._recover(), name=f"{self.name}:recover")
+        if self.recovery_policy == "restart":
+            self.sim.process(self._recover(), name=f"{self.name}:recover")
+            return
+        self._membership = MembershipTracker(
+            self.sim, self.job, self._detect_latency(),
+            ballot_start=self._next_ballot,
+            max_ballots=self.membership_ballots,
+            suspicion_window=self.suspicion_window,
+        )
+        self._membership.observe(rank, peer)
+        self.sim.process(self._recover_survivor(), name=f"{self.name}:recover")
+
+    def _detect_latency(self) -> float:
+        """Fabric latency used to time suspicion windows and ballots."""
+        fabric = getattr(self.net, "fabric", None)
+        latency = getattr(fabric, "latency", None)
+        return latency if latency is not None else 1e-4
 
     def _recover(self):
         recovery_start = self.sim.now
@@ -340,13 +404,39 @@ class FTRun:
         yield self.sim.timeout(self.launcher.respawn_lead_time())
         self._replace_dead_nodes()
 
+        snapshots, logs, restored_wave = \
+            yield from self._restore_images(committed)
+        if any(not ep.node.alive for ep in self.endpoints):
+            # a second kill landed while images were streaming back —
+            # re-place before relaunching onto a dead machine
+            self._replace_dead_nodes()
+        self.stats.restarts += 1
+        self.stats.recovery_seconds += self.sim.now - recovery_start
+        self.sim.trace.record(self.sim.now, "ft.restarted", wave=restored_wave,
+                              incarnation=self._incarnation)
+        if self.sim.metrics is not None:
+            self.sim.metrics.observe("ft.recovery_seconds",
+                                     self.sim.now - recovery_start,
+                                     wave=restored_wave)
+        self._launch(snapshots=snapshots, logs=logs, first=False,
+                     restored_wave=restored_wave)
+
+    def _restore_images(self, committed: int, via_map=None):
+        """Generator: load the newest fully-restorable committed wave.
+
+        Returns ``(snapshots, logs, restored_wave)`` — all None/0 when
+        nothing was ever committed.  Raises
+        :class:`StorageUnrecoverableError` when every candidate wave is
+        damaged beyond reconstruction.  ``via_map`` substitutes fetch
+        endpoints per rank (shrink: a survivor streams a dead rank's image).
+        """
         snapshots: Optional[List] = None
         logs: Optional[Dict[int, list]] = None
         restored_wave = 0
         if committed > 0:
             images: Optional[List[CheckpointImage]] = None
             for candidate in self._restorable_candidates(committed):
-                images = yield from self._fetch_wave(candidate)
+                images = yield from self._fetch_wave(candidate, via_map=via_map)
                 if images is not None:
                     restored_wave = candidate
                     break
@@ -369,16 +459,249 @@ class FTRun:
                 for rank, image in enumerate(images)
                 if image.logged_messages
             }
+        return snapshots, logs, restored_wave
+
+    # ------------------------------------------------- survivor-based recovery
+    def _recover_survivor(self):
+        """ULFM-style recovery: agree on the failed set, then apply the
+        spare/shrink policy; degrade to a full restart when the policy
+        cannot proceed (never hang)."""
+        policy = self.recovery_policy
+        started_at = self.sim.now
+        marks: Dict[str, float] = {}
+        if self.protocol is not None:
+            self.protocol.detach()
+        job = self.job
+
+        if self.stats.restarts >= self.max_restarts:
+            raise RuntimeError(f"{self.name}: exceeded {self.max_restarts} restarts")
+
+        tracker = self._membership
+        failed, survivors, ballot = yield from tracker.agree()
+        self._membership = None
+        self._next_ballot = ballot + 1
+        marks["detect"] = tracker.window_closed_at
+        marks["agree"] = self.sim.now
+        committed = self.committed_wave()
+        self.sim.trace.record(
+            self.sim.now, "ft.recovery_begin", policy=policy, ballot=ballot,
+            failed=failed, n_ranks=len(self.endpoints), committed=committed,
+            incarnation=self._incarnation)
+
+        # Survivor sockets outlive the dying incarnation: detach them before
+        # the kill breaks everything, then drop whatever the dead epoch left
+        # on the wire.  (Shrink renumbers the ranks, which invalidates the
+        # cached pair addressing — it reconnects lazily instead.)
+        inherited = job.harvest_links(survivors) if policy == "spare" else {}
+        job.kill()
+        for end_lo, _end_hi in inherited.values():
+            end_lo.connection.flush()
+
+        if policy == "shrink":
+            reason = yield from self._shrink_restart(
+                failed, survivors, committed, marks, started_at)
+        else:
+            reason = yield from self._spare_restart(
+                failed, committed, inherited, marks, started_at)
+        if reason is None:
+            return
+
+        # ---- graceful degradation: fall back to the paper's full restart
+        self.stats.policy_degradations += 1
+        self.sim.trace.record(self.sim.now, "ft.recovery_degraded",
+                              policy=policy, reason=reason,
+                              incarnation=self._incarnation)
+        for end_lo, _end_hi in inherited.values():
+            end_lo.connection.break_()
+        yield self.sim.timeout(self.launcher.respawn_lead_time())
+        for endpoint in self.endpoints:
+            if not endpoint.node.alive:
+                endpoint.node.restore()  # reboot in place; images are gone
+        marks["promote"] = self.sim.now
+        snapshots, logs, restored_wave = \
+            yield from self._restore_images(committed)
+        for endpoint in self.endpoints:
+            if not endpoint.node.alive:
+                endpoint.node.restore()  # casualty during the restore itself
+        self._finish_recovery(policy, restored_wave, snapshots, logs,
+                              marks, started_at)
+
+    def _spare_restart(self, failed, committed, inherited, marks, started_at):
+        """Generator: promote spares for dead machines, restore, relaunch.
+
+        Returns None on success, or a degradation reason.  Loops when a
+        cascading kill lands while images are streaming back — every loop
+        re-promotes for the new casualties, bounded so exhaustion or
+        relentless kills degrade instead of spinning.
+        """
+        promoted: List[int] = []
+        for _attempt in range(3):
+            newly, exhausted = self._promote_spares()
+            promoted.extend(newly)
+            if exhausted:
+                return "spare-pool-exhausted"
+            marks["promote"] = self.sim.now
+            try:
+                snapshots, logs, restored_wave = \
+                    yield from self._restore_images(committed)
+            except StorageUnrecoverableError:
+                if any(not ep.node.alive for ep in self.endpoints):
+                    continue  # the fetcher died, not the storage: re-place
+                raise
+            if any(not ep.node.alive for ep in self.endpoints):
+                continue  # a kill landed mid-restore; promote replacements
+            if restored_wave > 0:
+                for rank in sorted(set(promoted)):
+                    self.sim.trace.record(
+                        self.sim.now, "ft.spare_restore", rank=rank,
+                        wave=restored_wave,
+                        node=self.endpoints[rank].node.name)
+            links = {key: ends for key, ends in inherited.items()
+                     if not ends[0].connection.broken}
+            # survivors are already resident: only the failed ranks pay the
+            # launcher's spawn cost
+            delays = [0.0] * len(self.endpoints)
+            if failed:
+                spawn = self.launcher.spawn_delays(len(failed))
+                for position, rank in enumerate(sorted(failed)):
+                    if rank < len(delays):
+                        delays[rank] = spawn[position]
+            self._finish_recovery("spare", restored_wave, snapshots, logs,
+                                  marks, started_at, delays=delays,
+                                  inherited_links=links)
+            return None
+        return "cascading-failures"
+
+    def _promote_spares(self):
+        """Move endpoints off dead machines onto pre-allocated spares.
+
+        Returns ``(promoted ranks, exhausted)`` — exhausted means a dead
+        endpoint remains with no live spare left to host it.
+        """
+        promoted: List[int] = []
+        for index, endpoint in enumerate(self.endpoints):
+            if endpoint.node.alive:
+                continue
+            while self.spare_pool and not self.spare_pool[0].alive:
+                self.spare_pool.pop(0)
+            if not self.spare_pool:
+                return promoted, True
+            node = self.spare_pool.pop(0)
+            node.service = False  # now hosts an MPI rank
+            self.endpoints[index] = Endpoint(node, 0)
+            self.stats.spares_promoted += 1
+            self.sim.trace.record(self.sim.now, "ft.promoted", rank=index,
+                                  node=node.name,
+                                  incarnation=self._incarnation)
+            promoted.append(index)
+        return promoted, False
+
+    def _shrink_restart(self, failed, survivors, committed, marks, started_at):
+        """Generator: renumber the survivors and re-decompose the app.
+
+        Returns None on success, or a degradation reason.  The survivors
+        restart the (malleable) application over the shrunken communicator
+        from the last iteration boundary every committed image had reached.
+        """
+        if self.malleable_app_factory is None:
+            return "app-not-malleable"
+        old_size = len(self.endpoints)
+        live = [r for r in survivors if self.endpoints[r].node.alive]
+        if not live:
+            return "no-survivors"
+        # dead machines cannot stream their own images back: a survivor
+        # fetches each dead rank's shard (the redistribution cost)
+        dead_ranks = [r for r in range(old_size)
+                      if not self.endpoints[r].node.alive]
+        via_map = {rank: self.endpoints[live[i % len(live)]]
+                   for i, rank in enumerate(dead_ranks)}
+        try:
+            snapshots, _logs, restored_wave = \
+                yield from self._restore_images(committed, via_map=via_map)
+        except StorageUnrecoverableError:
+            if any(not self.endpoints[r].node.alive for r in live):
+                return "casualty-during-restore"  # fetcher died, not storage
+            raise
+        live = [r for r in live if self.endpoints[r].node.alive]
+        if not live:
+            return "no-survivors"
+        marks["promote"] = self.sim.now
+        resume = 0
+        if snapshots is not None:
+            resume = min(snapshot.state.get("iteration", 0)
+                         for snapshot in snapshots)
+        new_size = len(live)
+        live_set = set(live)
+        dropped = tuple(r for r in range(old_size) if r not in live_set)
+        self.endpoints = [self.endpoints[r] for r in live]
+        if self.servers:
+            self.server_map = assign_servers(new_size, self.servers)
+            self.replica_map = assign_replicas(new_size, self.servers,
+                                               self.replication)
+        self.app_factory = self.malleable_app_factory(new_size)
+        self.stats.shrinks += 1
+        self.sim.trace.record(self.sim.now, "ft.shrunk", size=new_size,
+                              dropped=dropped, resume_iteration=resume,
+                              incarnation=self._incarnation)
+        if self.sim.trace.wants("runtime.validated"):
+            # the rank count changed: re-announce the world size so monitors
+            # keying coverage on n_ranks treat the stream as re-dimensioned
+            self.sim.trace.record(self.sim.now, "runtime.validated",
+                                  n_ranks=new_size,
+                                  launcher=type(self.launcher).__name__,
+                                  **self.launcher.fd_budget())
+        self._finish_recovery("shrink", restored_wave, None, None,
+                              marks, started_at, delays=[0.0] * new_size,
+                              seed_state={"resume_iteration": resume})
+        return None
+
+    def _finish_recovery(self, policy, restored_wave, snapshots, logs,
+                         marks, started_at, delays=None, inherited_links=None,
+                         seed_state=None) -> None:
+        now = self.sim.now
         self.stats.restarts += 1
-        self.stats.recovery_seconds += self.sim.now - recovery_start
-        self.sim.trace.record(self.sim.now, "ft.restarted", wave=restored_wave,
+        self.stats.recovery_seconds += now - started_at
+        self.sim.trace.record(now, "ft.restarted", wave=restored_wave,
                               incarnation=self._incarnation)
         if self.sim.metrics is not None:
-            self.sim.metrics.observe("ft.recovery_seconds",
-                                     self.sim.now - recovery_start,
-                                     wave=restored_wave)
+            self.sim.metrics.observe("ft.recovery_seconds", now - started_at,
+                                     wave=restored_wave, policy=policy)
+        self._emit_recovery_phases(policy, marks, started_at)
         self._launch(snapshots=snapshots, logs=logs, first=False,
-                     restored_wave=restored_wave)
+                     restored_wave=restored_wave,
+                     inherited_links=inherited_links, start_delays=delays,
+                     seed_state=seed_state)
+
+    def _emit_recovery_phases(self, policy: str, marks: Dict[str, float],
+                              started_at: float) -> None:
+        """Emit the detect/agree/promote/restore spans tiling this recovery.
+
+        Mirrors the wave-phase emission: marks are clamped monotone so the
+        spans always tile ``[started_at, now]`` exactly, whatever order the
+        recovery actually visited them in (degraded paths may skip phases —
+        those come out zero-length, not missing).
+        """
+        trace = self.sim.trace
+        metrics = self.sim.metrics
+        wants = trace.wants("ft.recovery_phase")
+        if not wants and metrics is None:
+            return
+        end = self.sim.now
+        prev = started_at
+        spans = []
+        for phase in ("detect", "agree", "promote"):
+            at = min(max(marks.get(phase, prev), prev), end)
+            spans.append((phase, prev, at))
+            prev = at
+        spans.append(("restore", prev, end))
+        for phase, start, stop in spans:
+            if wants:
+                trace.record(end, "ft.recovery_phase", policy=policy,
+                             phase=phase, start=start, end=stop,
+                             duration=stop - start)
+            if metrics is not None:
+                metrics.observe("ft.recovery_phase_seconds", stop - start,
+                                policy=policy, phase=phase)
 
     def _replace_dead_nodes(self) -> None:
         """Spare-node policy: move endpoints off dead machines."""
@@ -418,15 +741,17 @@ class FTRun:
                 candidates.add(wave)
         return sorted(candidates, reverse=True)
 
-    def _fetch_wave(self, wave: int):
+    def _fetch_wave(self, wave: int, via_map=None):
         """Generator: fetch every rank's image of ``wave``, concurrently.
 
         All-or-nothing: returns the image list, or None when any rank's
         image could not be recovered from any replica (the wave is not
         fully restorable and a consistent rollback to it is impossible).
         """
+        via_map = via_map or {}
         fetchers = [
-            self.sim.process(self._fetch_image(rank, wave),
+            self.sim.process(self._fetch_image(rank, wave,
+                                               via=via_map.get(rank)),
                              name=f"{self.name}:fetch:r{rank}")
             for rank in range(len(self.endpoints))
         ]
@@ -448,16 +773,17 @@ class FTRun:
             self.sim.metrics.count("ft.fetch_failures", 1.0,
                                    rank=rank, reason=reason)
 
-    def _fetch_image(self, rank: int, wave: int):
+    def _fetch_image(self, rank: int, wave: int, via=None):
         """Generator: load ``rank``'s image of ``wave``, or None.
 
         Local disk first (same-machine restart); otherwise sweep the rank's
         replicas in assignment order, verifying the checksum of whatever
         comes back, with deterministic exponential backoff + jitter between
         sweeps (:class:`FetchPolicy`).  Returns None once every sweep is
-        exhausted or every replica is dead.
+        exhausted or every replica is dead.  ``via`` fetches through another
+        machine's endpoint (shrink: a survivor pulls a dead rank's image).
         """
-        endpoint = self.endpoints[rank]
+        endpoint = self.endpoints[rank] if via is None else via
         image = self.local_images.get(endpoint.node.name, rank, wave)
         if image is not None:
             yield endpoint.node.disk.read(image.nbytes)
@@ -470,7 +796,14 @@ class FTRun:
             for index, server in enumerate(replicas):
                 if not server.node.alive:
                     continue
-                connection = self.net.connect(endpoint, server.endpoint)
+                try:
+                    connection = self.net.connect(endpoint, server.endpoint)
+                except ConnectionError:
+                    # the *fetching* side's machine is gone — a cascading
+                    # kill landed mid-recovery; the caller re-places and
+                    # retries instead of crashing the recovery process
+                    self._note_fetch_failure(rank, wave, index, "connection")
+                    continue
                 server.serve_connection(connection.end_b)
                 end = connection.end_a
                 end.send(("fetch", rank, wave), nbytes=_CONTROL_BYTES)

@@ -44,6 +44,11 @@ def main(argv=None) -> int:
                              "REPRO_JOBS environment variable, else "
                              "sequential); results are identical either "
                              "way")
+    parser.add_argument("--policy", default=None,
+                        choices=("restart", "spare", "shrink"),
+                        help="restrict the 'recovery' figure to one "
+                             "recovery policy series (other figures are "
+                             "unaffected; see docs/RECOVERY.md)")
     parser.add_argument("--metrics", action="store_true",
                         help="collect repro.obs metrics for every run and "
                              "embed the snapshots in the figure JSON "
@@ -66,6 +71,9 @@ def main(argv=None) -> int:
     requested = list(EXPERIMENT_IDS) if "all" in args.experiments \
         else args.experiments
     profile = get_profile(args.profile, seed=args.seed)
+    if args.policy:
+        from dataclasses import replace
+        profile = replace(profile, recovery_policies=(args.policy,))
 
     failures = 0
     for experiment_id in requested:

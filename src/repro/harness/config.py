@@ -58,6 +58,18 @@ class Profile:
     repl_servers: int = 3
     repl_period: float = 30.0
 
+    # Recovery-cost ablation: time-to-recover vs concurrent node failures
+    # for each recovery policy (malleable stencil; kill time is in paper
+    # seconds and scaled by the figure so it always lands after a few
+    # committed waves)
+    recovery_procs: int = 8
+    recovery_policies: Tuple[str, ...] = ("restart", "spare", "shrink")
+    recovery_failures: Tuple[int, ...] = (1, 2, 4)
+    recovery_period: float = 30.0
+    recovery_spares: int = 4
+    recovery_kill_time: float = 160.0
+    recovery_servers: int = 2
+
     # Fig. 9: grid, BT.B at fixed size, period sweep
     fig9_procs: int = 400
     fig9_periods: Tuple[float, ...] = (30.0, 60.0, 120.0, 240.0)
@@ -98,6 +110,8 @@ SMOKE = Profile(
     fig8_procs=(4, 16),
     fig8_periods=(10.0, 60.0),
     repl_procs=(4, 16),
+    recovery_failures=(1, 2),
+    recovery_spares=2,
     fig9_procs=36,
     fig9_periods=(60.0, 240.0),
     fig10_sizes=(16, 36),

@@ -105,6 +105,17 @@ PAPER_CLAIMS: Dict[str, tuple] = {
         "higher — the blocking/non-blocking trade-off is a property of "
         "the family, not of the flush mechanism.",
     ),
+    "recovery": (
+        "Secs. 2/5.4 (restart model, extension)",
+        "The paper's recovery model re-deploys every rank after any "
+        "failure, so recovery cost is the full job-launch path the "
+        "deployment section measured at hundreds of processes.  "
+        "ULFM-style survivor recovery changes that: promoting a warm "
+        "spare or shrinking to the survivors skips the respawn entirely, "
+        "only the replacement (or nobody) streams an image, and the "
+        "cost stays flat as concurrent failures grow because one "
+        "membership agreement round absorbs a whole failure burst.",
+    ),
 }
 
 

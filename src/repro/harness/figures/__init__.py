@@ -21,6 +21,7 @@ EXPERIMENT_IDS = (
     "mttf",
     "replication",
     "protocol_race",
+    "recovery",
 )
 
 

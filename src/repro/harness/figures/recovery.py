@@ -1,0 +1,125 @@
+"""Recovery-cost ablation — time-to-recover vs concurrent failures × policy.
+
+The paper restarts the whole job after any failure (Sec. 4: the failed
+processes are restarted from the last coordinated checkpoint wave and every
+survivor rolls back with them).  ULFM-style survivor recovery replaces that
+with a failure-set agreement round among the survivors followed by one of
+three continuation strategies (docs/RECOVERY.md):
+
+* ``restart`` — the paper's behavior, the baseline series;
+* ``spare``   — failed ranks are promoted onto pre-allocated spare nodes;
+  survivors keep their engines and only the replacements stream images;
+* ``shrink``  — survivors renumber and the (malleable) application
+  re-decomposes over the smaller communicator.
+
+This figure injects ``k`` near-simultaneous node failures (close enough to
+coalesce into a single detection/agreement/recovery cycle) into a stencil
+run and plots the measured time-to-recover (``FTStats.recovery_seconds``)
+against ``k`` for each policy.
+
+Expected shape:
+
+* restart tears the whole job down, so it pays the process manager's
+  failure-cleanup lead (FTPM unpublishes every business card) before any
+  image moves — high already at k=1 and roughly flat in k;
+* spare and shrink skip that lead: survivors stay resident, so the cost
+  is the agreement round plus the image restore;
+* the agreement round itself — visible in the ``ft.recovery_phase``
+  timers (detect/agree/promote/restore) — costs network latency, orders
+  of magnitude below an image restore.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.apps import Stencil
+from repro.harness.config import Profile
+from repro.harness.parallel import execute_grid
+from repro.harness.report import FigureResult, Series
+
+__all__ = ["run"]
+
+#: spacing between the k near-simultaneous kills — inside the membership
+#: tracker's suspicion window, so one agreement round covers all of them
+#: (a correlated failure: a switch or power domain taking out k nodes)
+_KILL_SPACING = 1e-4
+
+
+def run(profile: Profile) -> FigureResult:
+    bench = Stencil(klass="B", scale=profile.time_scale)
+    p = profile.recovery_procs
+    policies = profile.recovery_policies
+    kill_at = profile.recovery_kill_time * profile.time_scale
+
+    tasks = []
+    for policy in policies:
+        for k in profile.recovery_failures:
+            kills = [("node", rank, kill_at + index * _KILL_SPACING)
+                     for index, rank in enumerate(range(1, 1 + k))]
+            tasks.append(dict(
+                bench=bench, n_procs=p, protocol="pcl", profile=profile,
+                period=profile.recovery_period,
+                n_servers=profile.recovery_servers,
+                policy=policy, spares=profile.recovery_spares,
+                kills=kills, launcher="ftpm",
+                name=f"recovery-{policy}-k{k}",
+            ))
+    grid = execute_grid(tasks)
+
+    per_policy = len(profile.recovery_failures)
+    series: List[Series] = []
+    recovery = {}
+    results = {}
+    for index, policy in enumerate(policies):
+        runs = grid[index * per_policy:(index + 1) * per_policy]
+        xs = [float(k) for k in profile.recovery_failures]
+        ys = [r.stats.recovery_seconds for r in runs]
+        series.append(Series(policy, xs, ys))
+        recovery[policy] = ys
+        results[policy] = runs
+
+    max_k = max(profile.recovery_failures)
+    checks = {
+        "every run completed": all(r.completion > 0 for r in grid),
+        "every failure burst coalesced into one recovery":
+            all(r.stats.restarts == 1 for r in grid),
+        "no policy degraded to a full restart":
+            all(r.stats.policy_degradations == 0 for r in grid),
+    }
+    if "spare" in results:
+        checks["spare promoted exactly the failed ranks"] = all(
+            r.stats.spares_promoted == k for r, k in
+            zip(results["spare"], profile.recovery_failures))
+    if "shrink" in results:
+        shrink_sizes = [len(r.meta["app_state"]) for r in results["shrink"]]
+        checks["shrink re-decomposed over the survivors"] = all(
+            size == p - k for size, k in
+            zip(shrink_sizes, profile.recovery_failures))
+    survivor_policies = [pol for pol in policies if pol != "restart"]
+    if "restart" in results and survivor_policies:
+        checks["survivor policies recover faster than a full restart"] = all(
+            recovery[pol][i] < recovery["restart"][i]
+            for pol in survivor_policies for i in range(per_policy))
+    notes = [
+        f"x = concurrent node failures (burst spacing {_KILL_SPACING}s), "
+        f"y = measured time-to-recover",
+        f"stencil.B p={p}, period {profile.recovery_period}s, "
+        f"{profile.recovery_spares} spares, kill at t={kill_at:.1f}s",
+    ] + [
+        f"{policy}: " + ", ".join(
+            f"k={k}: {t:.3f}s" for k, t in
+            zip(profile.recovery_failures, recovery[policy]))
+        for policy in policies
+    ]
+    return FigureResult(
+        figure_id="recovery",
+        title=f"Survivor recovery: time-to-recover vs concurrent failures "
+              f"(stencil.B, {p} procs, up to {max_k} failures)",
+        x_label="concurrent node failures",
+        y_label="time to recover [s]",
+        series=series,
+        checks=checks,
+        notes=notes,
+        profile=profile.name,
+    )

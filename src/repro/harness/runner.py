@@ -164,6 +164,8 @@ def execute(
     fetch_backoff: float = 0.05,
     fetch_jitter: float = 0.25,
     storage_faults: Sequence[Tuple[str, int, int, float]] = (),
+    policy: str = "restart",
+    spares: int = 0,
     watchdog: Union[bool, Watchdog] = True,
     metrics: Optional[bool] = None,
     tracer: Optional[Tracer] = None,
@@ -190,6 +192,13 @@ def execute(
     storage-tier failures: ``("server_kill" | "image_corrupt", server,
     rank, at)`` quadruples (``rank`` is ignored by ``server_kill``), with
     ``at`` in simulated seconds like ``kills``.
+
+    ``policy`` selects the recovery strategy after a failure: ``restart``
+    (full-job rollback, the paper's behavior), ``spare`` (survivors keep
+    their engines; failed ranks are promoted onto the ``spares``
+    pre-allocated pool nodes) or ``shrink`` (survivors re-decompose — only
+    meaningful for malleable benchmarks; others degrade to a restart with
+    a ``ft.recovery_degraded`` record).  See docs/RECOVERY.md.
 
     ``watchdog`` arms the engine progress watchdog — pass False to run
     bare, or a configured :class:`~repro.sim.Watchdog` to tune thresholds.
@@ -236,8 +245,16 @@ def execute(
         fetch_retries=fetch_retries,
         fetch_backoff=fetch_backoff,
         fetch_jitter=fetch_jitter,
+        recovery_policy=policy,
+        spares=spares,
     )
-    run = build_run(sim, spec, bench.make_app(n_procs), name=name)
+    malleable_factory = (
+        bench.make_app
+        if policy == "shrink" and getattr(bench, "malleable", False)
+        else None
+    )
+    run = build_run(sim, spec, bench.make_app(n_procs), name=name,
+                    malleable_app_factory=malleable_factory)
     run.start()
     for kind, rank, at in kills:
         if kind == "task":
@@ -266,6 +283,11 @@ def execute(
         meta["kills"] = [list(k) for k in kills]
     if storage_faults:
         meta["storage_faults"] = [list(f) for f in storage_faults]
+    if kills or storage_faults:
+        # what the injector actually did, as typed records (a node kill
+        # expands into per-task kills; a kill landing after completion or
+        # on an already-dead machine records nothing)
+        meta["injected_kills"] = [k.as_dict() for k in run.injector.kills]
     if bus is not None:
         bus.finish()
         bus.detach()

@@ -40,6 +40,7 @@ class MPIJob:
         channel_cls: type,
         name: str = "job",
         image_bytes: float = 0.0,
+        inherited_links: Optional[Dict[Tuple[int, int], Tuple[Any, Any]]] = None,
     ) -> None:
         self.sim = sim
         self.net = net
@@ -69,6 +70,9 @@ class MPIJob:
         self._finished = 0
         self._started = False
         self.killed = False
+        #: survivor connections harvested from the previous incarnation
+        #: (ULFM-style recovery); adopted in start()
+        self._inherited_links = dict(inherited_links or {})
 
     # ------------------------------------------------------------- lifecycle
     def start(
@@ -88,6 +92,8 @@ class MPIJob:
             for rank, snapshot in enumerate(snapshots):
                 if snapshot is not None:
                     self.contexts[rank].restore_snapshot(snapshot)
+        if self._inherited_links:
+            self._adopt_links()
         if self.channels and self.channels[0].eager_connect:
             self.sim.process(self._mesh_connect(), name=f"{self.name}:mesh")
         for rank in range(self.size):
@@ -111,7 +117,17 @@ class MPIJob:
                     # the teardown/recovery machinery owns the rest.
                     if self.killed:
                         return
-                    raise
+                    # A refused connect is itself failure detection: one
+                    # endpoint's machine is gone but the job outlives it
+                    # (survivor policies agree on membership before the
+                    # kill).  Report the dead side and park the builder.
+                    dead = [r for r in (a, b)
+                            if not self.endpoints[r].node.alive]
+                    if not dead:
+                        raise
+                    for r in dead:
+                        self.notify_socket_closed(r, None)
+                    return
 
     def _app_wrapper(self, rank: int, delay: float):
         if delay > 0.0:
@@ -150,6 +166,52 @@ class MPIJob:
         return self._started and not self.killed and not self.completed.triggered
 
     # ------------------------------------------------------------ connections
+    def _adopt_links(self) -> None:
+        """Attach connections harvested from the previous incarnation.
+
+        Survivor pairs skip the TCP handshake entirely: the ends are attached
+        to the fresh channels and the link event is pre-succeeded, so both
+        :meth:`establish` and the eager mesh builder see the pair as already
+        connected.  Links whose connection broke since the harvest (a
+        cascading node kill) are silently skipped — those pairs reconnect
+        lazily like any cold pair.
+        """
+        for key in sorted(self._inherited_links):
+            end_lo, end_hi = self._inherited_links[key]
+            if end_lo.connection.broken:
+                continue
+            lo, hi = key
+            if lo >= self.size or hi >= self.size:
+                continue
+            self.channels[lo].attach(hi, end_lo)
+            self.channels[hi].attach(lo, end_hi)
+            ready = self.sim.event(name=f"{self.name}:link{key}")
+            ready.succeed()
+            self._links[key] = ready
+        self._inherited_links = {}
+
+    def harvest_links(self, survivors: Sequence[int]
+                      ) -> Dict[Tuple[int, int], Tuple[Any, Any]]:
+        """Detach healthy survivor<->survivor connections from this job.
+
+        Popping the ends out of the channels' connection tables means the
+        subsequent :meth:`kill` (whose shutdown breaks every *registered*
+        connection) leaves them untouched; the receiver processes are still
+        interrupted, so nothing reads from the harvested ends until the next
+        incarnation adopts them via ``inherited_links``.
+        """
+        alive = set(survivors)
+        links: Dict[Tuple[int, int], Tuple[Any, Any]] = {}
+        for lo, hi in sorted(self._links):
+            if lo not in alive or hi not in alive:
+                continue
+            end_lo = self.channels[lo].conns.pop(hi, None)
+            end_hi = self.channels[hi].conns.pop(lo, None)
+            if end_lo is None or end_hi is None or end_lo.connection.broken:
+                continue
+            links[(lo, hi)] = (end_lo, end_hi)
+        return links
+
     def establish(self, a: int, b: int):
         """Generator: ensure ranks ``a`` and ``b`` are connected; returns
         rank ``a``'s connection end."""

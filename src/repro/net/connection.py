@@ -55,6 +55,7 @@ class _Pipe:
         "_current_flow",
         "_last_delivery",
         "_msg_id",
+        "_flush_gen",
     )
 
     def __init__(
@@ -83,6 +84,9 @@ class _Pipe:
         self.name = name
         self._current_flow = None
         self._last_delivery = 0.0
+        #: bumped by flush(); scheduled deliveries from before a flush carry
+        #: the old generation and are discarded on arrival
+        self._flush_gen = 0
         #: FIFO position of the last message accepted for sending; ids are
         #: only assigned while a monitor subscribes to net.* (repro.verify)
         self._msg_id = 0
@@ -129,7 +133,8 @@ class _Pipe:
                 metrics.count("net.inline_sends")
                 metrics.count("net.bytes_sent", nbytes)
             sent.succeed()
-            self.sim.call_at(delivery - self.sim.now, self._deliver, payload, msg_id)
+            self.sim.call_at(delivery - self.sim.now, self._deliver, payload,
+                             msg_id, self._flush_gen)
             return sent
         self.egress.append((payload, nbytes, sent, extra_latency, msg_id))
         if not self.pumping:
@@ -152,8 +157,16 @@ class _Pipe:
             try:
                 yield flow.done
             except ConnectionError:
-                # Cancelled by break_(); queued messages are already dropped.
-                break
+                if self.broken:
+                    # Cancelled by break_(); queued messages already dropped.
+                    break
+                # Cancelled by flush(): this message is dropped, but the pipe
+                # lives on — keep draining whatever was enqueued since.
+                if not sent.triggered:
+                    sent.defused = True
+                    sent.fail(BrokenConnectionError(
+                        f"pipe {self.name} flushed"))
+                continue
             finally:
                 self._current_flow = None
             self.bytes_sent += nbytes
@@ -169,10 +182,13 @@ class _Pipe:
             delivery = max(self.sim.now + self.latency + queueing + extra_latency,
                            self._last_delivery)
             self._last_delivery = delivery
-            self.sim.call_at(delivery - self.sim.now, self._deliver, payload, msg_id)
+            self.sim.call_at(delivery - self.sim.now, self._deliver, payload,
+                             msg_id, self._flush_gen)
         self.pumping = False
 
-    def _deliver(self, payload: Any, msg_id: int = 0) -> None:
+    def _deliver(self, payload: Any, msg_id: int = 0, gen: int = 0) -> None:
+        if gen != self._flush_gen:
+            return  # sent before a flush(); the epoch that wanted it is gone
         if not self.broken and not self.inbox.poisoned:
             if msg_id:
                 trace = self.sim.trace
@@ -180,6 +196,32 @@ class _Pipe:
                     trace.record(self.sim.now, "net.delivered",
                                  pipe=self.name, msg=msg_id)
             self.inbox.put(payload)
+
+    # ----------------------------------------------------------------- flush
+    def flush(self) -> None:
+        """Drop every queued, in-flight, and delivered-but-unread message
+        without breaking the pipe.
+
+        Used when a surviving connection is carried across a job incarnation
+        (ULFM-style recovery): the TCP stream stays up, but everything the
+        dead epoch put on the wire must never reach the new one.  Blocked
+        senders get :class:`BrokenConnectionError` for the dropped messages;
+        the inbox is drained, not poisoned, so the next epoch's receiver
+        starts clean.
+        """
+        if self.broken:
+            return
+        self._flush_gen += 1
+        if self._current_flow is not None:
+            self.scheduler.cancel(self._current_flow)
+        error = BrokenConnectionError(f"pipe {self.name} flushed")
+        while self.egress:
+            entry = self.egress.popleft()
+            sent = entry[2]
+            if not sent.triggered:
+                sent.defused = True
+                sent.fail(error)
+        self.inbox.drain()
 
     # ----------------------------------------------------------------- break
     def break_(self) -> None:
@@ -287,6 +329,12 @@ class Connection:
         """Tear down both directions (idempotent)."""
         for pipe in self.pipes:
             pipe.break_()
+
+    def flush(self) -> None:
+        """Drop all in-flight traffic in both directions, keep the stream up
+        (survivor-link reuse across a recovery)."""
+        for pipe in self.pipes:
+            pipe.flush()
 
     def ends(self) -> Tuple[ConnectionEnd, ConnectionEnd]:
         return self.end_a, self.end_b

@@ -6,7 +6,10 @@ load directly:
 
 * a **protocol track** with one slice per wave *phase* (markers / flush /
   stream / commit, from the ``ft.wave_phase`` records the protocols emit at
-  commit time) — a Pcl flush stall is literally a wide "flush" slice;
+  commit time) — a Pcl flush stall is literally a wide "flush" slice; a
+  second thread on the same track carries the *recovery* phases
+  (detect / agree / promote / restore, from ``ft.recovery_phase``) that
+  tile each recovery, plus one instant per membership agreement round;
 * one **track per rank** with its per-wave activity: the blocked interval
   (Pcl: wave entry until resume), the draining window (Dcl: drain entry
   until resume) or the logging window (Vcl: local checkpoint until the
@@ -56,6 +59,7 @@ def build_timeline(records: Iterable[TraceRecord]) -> Dict[str, Any]:
     """Build the ``trace_events`` document from trace records."""
     events: List[Dict[str, Any]] = []
     ranks_seen: set = set()
+    recovery_seen = False
     protocol_name = "protocol"
     logged_cumulative = 0.0
     # (rank, wave) -> open time of the rank's wave slice, with its flavour
@@ -166,6 +170,30 @@ def build_timeline(records: Iterable[TraceRecord]) -> Dict[str, Any]:
                 "name": "logged in-transit bytes", "ts": ts,
                 "args": {"bytes": logged_cumulative},
             })
+        elif category == "ft.recovery_phase":
+            # detect / agree / promote / restore tiling one recovery
+            recovery_seen = True
+            start = float(record.get("start", record.time)) * _US
+            end = float(record.get("end", record.time)) * _US
+            events.append({
+                "ph": "X", "pid": PROTOCOL_PID, "tid": 2,
+                "name": str(record.get("phase", "phase")),
+                "cat": "recovery",
+                "ts": start, "dur": max(0.0, end - start),
+                "args": {"policy": record.get("policy"),
+                         "seconds": record.get("duration")},
+            })
+        elif category == "ft.membership_round":
+            recovery_seen = True
+            events.append({
+                "ph": "i", "pid": PROTOCOL_PID, "tid": 2,
+                "name": f"agreement ballot {record.get('ballot')}",
+                "cat": "recovery", "ts": ts, "s": "p",
+                "args": {"ballot": record.get("ballot"),
+                         "coordinator": record.get("coordinator"),
+                         "failed": list(record.get("failed", ())),
+                         "survivors": record.get("survivors")},
+            })
         elif category in ("ft.failure_detected", "ft.restarted"):
             events.append({
                 "ph": "i", "pid": PROTOCOL_PID, "tid": 1,
@@ -185,6 +213,9 @@ def build_timeline(records: Iterable[TraceRecord]) -> Dict[str, Any]:
 
     meta: List[Dict[str, Any]] = []
     meta += _meta(PROTOCOL_PID, f"{protocol_name} waves", 1, "waves")
+    if recovery_seen:
+        meta.append({"ph": "M", "pid": PROTOCOL_PID, "tid": 2,
+                     "name": "thread_name", "args": {"name": "recovery"}})
     meta.append({"ph": "M", "pid": RANKS_PID, "tid": 0, "name": "process_name",
                  "args": {"name": "ranks"}})
     for rank in sorted(ranks_seen):

@@ -65,6 +65,13 @@ class DeploymentSpec:
     fork_latency: float = FORK_LATENCY
     launcher: str = "auto"  # "auto" | "dispatcher" | "ftpm" | "instant"
     restart_policy: str = "same-node"
+    #: survivor-recovery strategy: "restart" kills and respawns every rank
+    #: (the paper's model); "spare" keeps survivors alive and promotes
+    #: machines from the pre-allocated spare pool; "shrink" renumbers the
+    #: survivors and re-decomposes a malleable app
+    recovery_policy: str = "restart"
+    #: machines pre-allocated (idle) for the "spare" recovery policy
+    spares: int = 0
     #: checkpoint storage resilience: each rank streams its image to
     #: ``ckpt_replication`` servers, servers retain the newest
     #: ``ckpt_gc_keep`` committed waves, and restarts retry fetches
@@ -92,6 +99,14 @@ class DeploymentSpec:
             raise ValueError("ckpt_gc_keep must be >= 1")
         if self.fetch_retries < 1:
             raise ValueError("fetch_retries must be >= 1")
+        if self.recovery_policy not in ("restart", "spare", "shrink"):
+            raise ValueError(
+                f"unknown recovery policy {self.recovery_policy!r}")
+        if self.spares < 0:
+            raise ValueError("spares must be >= 0")
+        if self.spares > 0 and self.network == "grid5000":
+            raise ValueError("spare pools are only modelled on cluster "
+                             "networks, not grid5000")
 
 
 def _fabric_for(spec: DeploymentSpec):
@@ -142,10 +157,17 @@ def build_run(
     spec: DeploymentSpec,
     app_factory: Callable,
     name: str = "run",
+    malleable_app_factory: Optional[Callable[[int], Callable]] = None,
 ) -> FTRun:
-    """Assemble network, servers, scheduler, launcher and protocol."""
+    """Assemble network, servers, scheduler, launcher and protocol.
+
+    ``malleable_app_factory`` (size -> app function) enables the "shrink"
+    recovery policy: after a failure the survivors re-decompose the app over
+    the smaller communicator instead of respawning the dead ranks.
+    """
     fabric = _fabric_for(spec)
     want_scheduler = spec.protocol == "vcl"
+    spare_nodes = []
 
     if spec.network == "grid5000":
         net = grid5000(sim, intra_fabric=fabric)
@@ -167,9 +189,16 @@ def build_run(
         else:
             n_compute = spec.n_procs
         n_service = spec.n_servers + (1 if want_scheduler else 0)
-        net = ClusterNetwork(sim, n_nodes=n_compute + n_service, fabric=fabric,
-                             name=name)
-        service_nodes = net.nodes[n_compute:]
+        net = ClusterNetwork(
+            sim, n_nodes=n_compute + spec.spares + n_service, fabric=fabric,
+            name=name)
+        # Spares sit between the compute block and the service block; they
+        # are flagged service so place() skips them until a recovery
+        # promotes them into the compute set.
+        spare_nodes = net.nodes[n_compute:n_compute + spec.spares]
+        for node in spare_nodes:
+            node.service = True
+        service_nodes = net.nodes[n_compute + spec.spares:]
         for node in service_nodes:
             node.service = True
 
@@ -208,6 +237,9 @@ def build_run(
         fetch_policy=FetchPolicy(max_rounds=spec.fetch_retries,
                                  backoff_base=spec.fetch_backoff,
                                  jitter=spec.fetch_jitter),
+        recovery_policy=spec.recovery_policy,
+        spare_pool=spare_nodes,
+        malleable_app_factory=malleable_app_factory,
     )
     if spec.network == "grid5000":
         run.use_site_server_map(_assign_servers_by_site(endpoints, servers))

@@ -25,7 +25,11 @@ packet level for every monitored run:
   aborted (see :mod:`repro.chaos` for the campaign driver built on these);
 * committed checkpoint waves stay durably restorable: every rank keeps a
   sealed, checksum-intact replica on a live server, K-way replication
-  survives a single server death, and a restart never fabricates a wave.
+  survives a single server death, and a restart never fabricates a wave;
+* survivor recovery acts on an *agreed* failed set — every survivor
+  commits the same ballot before any recovery action — and a promoted
+  spare always restores the failed rank's newest committed image
+  (docs/RECOVERY.md).
 
 Attach all monitors to a simulator with::
 
@@ -45,8 +49,10 @@ from repro.verify.monitors import (
     FdBudgetMonitor,
     FifoDeliveryMonitor,
     LivelockMonitor,
+    MembershipAgreementMonitor,
     MonotoneClockMonitor,
     PclFlushMonitor,
+    SpareConsistencyMonitor,
     StorageDurabilityMonitor,
     VclLoggingMonitor,
     VclNoOrphanMonitor,
@@ -69,5 +75,7 @@ __all__ = [
     "LivelockMonitor",
     "WaveLivenessMonitor",
     "StorageDurabilityMonitor",
+    "MembershipAgreementMonitor",
+    "SpareConsistencyMonitor",
     "all_monitors",
 ]

@@ -42,6 +42,16 @@ Provenance of each invariant:
   when the job dies or completes mid-wave, ``ft.wave_aborted``.  A second
   wave starting while one is open, or a dangling wave at end of run, means
   the driver's commit plumbing wedged.
+* **membership-agreement** — the survivor-recovery agreement contract
+  (:mod:`repro.ft.membership`, docs/RECOVERY.md): recovery acts on an
+  *agreed* failed set, never a partial view — every commit matches the
+  ballot's proposed failed set, no failed rank commits, and by the time
+  ``ft.recovery_begin`` fires every survivor of that ballot has committed.
+* **spare-consistency** — the spare-promotion contract
+  (:mod:`repro.ft.recovery`, docs/RECOVERY.md): only ranks of the agreed
+  failed set are promoted onto spares, and a promoted spare restores the
+  recovery's newest committed wave (or the wave the restore legitimately
+  fell back to), inside an open recovery — never a stale or future image.
 * **storage-durability** — the replicated checkpoint store's contract
   (:mod:`repro.ft.server`): a committed wave is restorable — every rank has
   at least one sealed, checksum-intact replica on a live server when the
@@ -73,6 +83,8 @@ __all__ = [
     "LivelockMonitor",
     "WaveLivenessMonitor",
     "StorageDurabilityMonitor",
+    "MembershipAgreementMonitor",
+    "SpareConsistencyMonitor",
     "all_monitors",
 ]
 
@@ -981,6 +993,184 @@ class StorageDurabilityMonitor(Monitor):
                 self._ambiguous = True
 
 
+class MembershipAgreementMonitor(Monitor):
+    """Survivor recovery acts on an *agreed* failed set, never a partial
+    view.
+
+    The membership tracker proposes a failed set per ballot
+    (``ft.membership_round``), every survivor commits it
+    (``ft.membership_commit``), and only then does the recovery act
+    (``ft.recovery_begin``).  The checkable contract:
+
+    1. a commit names a ballot that was proposed, with exactly the
+       proposed failed set;
+    2. no rank of the failed set commits (the dead don't vote);
+    3. no rank commits the same ballot twice;
+    4. when recovery begins on a ballot, its committers are exactly the
+       survivors (every rank of the job except the agreed failed set).
+    """
+
+    name = "membership-agreement"
+    categories = ("ft.membership_round", "ft.membership_commit",
+                  "ft.recovery_begin")
+
+    def __init__(self) -> None:
+        super().__init__()
+        #: ballot -> proposed failed set (last proposal wins: the tracker
+        #: re-proposes the final view when it force-commits)
+        self._proposals: Dict[int, Tuple[int, ...]] = {}
+        #: ballot -> ranks that committed it
+        self._committers: Dict[int, Set[int]] = {}
+
+    def on_record(self, record: TraceRecord) -> None:
+        self.checked += 1
+        category = record.category
+        ballot = record.get("ballot", 0)
+        if category == "ft.membership_round":
+            self._proposals[ballot] = tuple(record.get("failed", ()))
+        elif category == "ft.membership_commit":
+            rank = record.get("rank", 0)
+            failed = tuple(record.get("failed", ()))
+            proposed = self._proposals.get(ballot)
+            if proposed is None:
+                self.violation(
+                    record.time,
+                    f"rank {rank} committed ballot {ballot} which was never "
+                    "proposed — commit without an agreement round",
+                )
+            elif failed != proposed:
+                self.violation(
+                    record.time,
+                    f"rank {rank} committed failed set {failed} for ballot "
+                    f"{ballot} but the proposal was {proposed} — survivors "
+                    "disagree on who failed",
+                )
+            if rank in failed:
+                self.violation(
+                    record.time,
+                    f"rank {rank} committed ballot {ballot} although it is "
+                    "in the failed set — the dead don't vote",
+                )
+            committers = self._committers.setdefault(ballot, set())
+            if rank in committers:
+                self.violation(
+                    record.time,
+                    f"rank {rank} committed ballot {ballot} twice",
+                )
+            committers.add(rank)
+        else:  # ft.recovery_begin
+            failed = set(record.get("failed", ()))
+            n_ranks = record.get("n_ranks", 0)
+            expected = set(range(n_ranks)) - failed
+            committed = self._committers.get(ballot, set())
+            if committed != expected:
+                missing = sorted(expected - committed)
+                extra = sorted(committed - expected)
+                self.violation(
+                    record.time,
+                    f"recovery began on ballot {ballot} but its committers "
+                    f"are not exactly the survivors — missing {missing}, "
+                    f"unexpected {extra}",
+                )
+            # the ballot is consumed; later recoveries use fresh ballots
+            self._proposals.pop(ballot, None)
+            self._committers.pop(ballot, None)
+
+
+class SpareConsistencyMonitor(Monitor):
+    """A promoted spare restores the failed rank's newest committed image.
+
+    ``ft.recovery_begin`` (policy "spare") opens a recovery and pins the
+    wave its restores must come from — the newest committed wave at
+    agreement time; a legitimate ``ft.wave_fallback`` unpins it (an older
+    retained wave will be restored instead).  Against that the monitor
+    checks every ``ft.promoted`` names a rank of the agreed failed set,
+    every ``ft.spare_restore`` happens inside an open spare recovery at
+    the pinned wave, and ``ft.restarted`` closes the recovery.
+
+    A kill landing *inside* the open recovery (an ``ft.failure`` record
+    between ``ft.recovery_begin`` and ``ft.restarted``) is a cascading
+    casualty the agreement round could not have seen: a task kill adds
+    its rank to the allowed set, a node kill — whose record names only
+    the machine, not the ranks on it — unpins the rank check for the rest
+    of this recovery (the retry loop may then promote any casualty).
+    """
+
+    name = "spare-consistency"
+    categories = ("ft.recovery_begin", "ft.promoted", "ft.spare_restore",
+                  "ft.wave_fallback", "ft.restarted", "ft.failure")
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._open = False
+        #: failed set of the open spare recovery
+        self._failed: Set[int] = set()
+        #: wave the restores must come from; None = unpinned (nothing
+        #: committed, or a fallback re-routed to an older wave)
+        self._expected: Optional[int] = None
+        #: a node died mid-recovery: its record carries no rank, so any
+        #: promotion is legitimate until the recovery closes
+        self._cascading = False
+
+    def on_record(self, record: TraceRecord) -> None:
+        self.checked += 1
+        category = record.category
+        if category == "ft.recovery_begin":
+            if record.get("policy") != "spare":
+                self._open = False
+                self._failed = set()
+                self._expected = None
+                self._cascading = False
+                return
+            self._open = True
+            self._failed = set(record.get("failed", ()))
+            committed = record.get("committed", 0)
+            self._expected = committed if committed > 0 else None
+            self._cascading = False
+        elif category == "ft.failure":
+            if not self._open:
+                return
+            kind = record.get("kind")
+            rank = record.get("rank")
+            if kind == "task" and rank is not None:
+                self._failed.add(rank)
+            elif kind == "node":
+                self._cascading = True
+        elif category == "ft.promoted":
+            if not self._open or self._cascading:
+                return  # degraded/restart paths and cascading casualties
+            rank = record.get("rank", 0)
+            if rank not in self._failed:
+                self.violation(
+                    record.time,
+                    f"rank {rank} was promoted onto a spare although the "
+                    f"agreed failed set is {sorted(self._failed)} — a "
+                    "surviving rank lost its engine",
+                )
+        elif category == "ft.spare_restore":
+            wave = record.get("wave", 0)
+            if not self._open:
+                self.violation(
+                    record.time,
+                    f"spare restore of wave {wave} outside an open spare "
+                    "recovery",
+                )
+            elif self._expected is not None and wave != self._expected:
+                self.violation(
+                    record.time,
+                    f"promoted spare restored wave {wave} but the newest "
+                    f"committed wave at agreement was {self._expected} — "
+                    "a spare must restore the newest committed image",
+                )
+        elif category == "ft.wave_fallback":
+            self._expected = None
+        else:  # ft.restarted
+            self._open = False
+            self._failed = set()
+            self._expected = None
+            self._cascading = False
+
+
 def all_monitors() -> list:
     """Fresh instances of every shipped monitor."""
     return [
@@ -995,4 +1185,6 @@ def all_monitors() -> list:
         LivelockMonitor(),
         WaveLivenessMonitor(),
         StorageDurabilityMonitor(),
+        MembershipAgreementMonitor(),
+        SpareConsistencyMonitor(),
     ]

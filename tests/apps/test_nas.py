@@ -142,6 +142,6 @@ def test_cg_latency_bound_vs_bt():
 
 
 def test_benchmarks_registry():
-    assert set(BENCHMARKS) == {"bt", "cg", "ft", "lu", "mg"}
+    assert set(BENCHMARKS) == {"bt", "cg", "ft", "lu", "mg", "stencil"}
     assert all(issubclass(cls, __import__("repro.apps.base", fromlist=["NASBenchmark"]).NASBenchmark)
                for cls in BENCHMARKS.values())

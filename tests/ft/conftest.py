@@ -32,12 +32,23 @@ def build_ft_run(
     replication=1,
     gc_keep=1,
     fetch_policy=None,
+    recovery_policy="restart",
+    spares=0,
+    malleable_app_factory=None,
 ):
-    """Assemble network, servers and an FTRun; returns (run, net)."""
+    """Assemble network, servers and an FTRun; returns (run, net).
+
+    ``spare_nodes`` feeds the legacy restart_policy="spare" path (idle
+    compute nodes); ``spares`` pre-allocates a pool for the survivor-based
+    recovery_policy="spare" (nodes marked service until promoted).
+    """
     extra = n_servers + (1 if protocol == "vcl" else 0)
-    net = ClusterNetwork(sim, n_nodes=size + extra + spare_nodes)
+    net = ClusterNetwork(sim, n_nodes=size + extra + spare_nodes + spares)
     compute_nodes = net.nodes[:size + spare_nodes]
-    service_nodes = net.nodes[size + spare_nodes:]
+    pool = net.nodes[size + spare_nodes:size + spare_nodes + spares]
+    for node in pool:
+        node.service = True
+    service_nodes = net.nodes[size + spare_nodes + spares:]
     endpoints = [Endpoint(node, 0) for node in compute_nodes[:size]]
     servers = [
         CheckpointServer(sim, net, service_nodes[i], name=f"cs{i}",
@@ -66,6 +77,8 @@ def build_ft_run(
         protocol_factory if protocol is not None else None,
         servers, image_bytes=image_bytes, restart_policy=restart_policy,
         replication=replication, fetch_policy=fetch_policy,
+        recovery_policy=recovery_policy, spare_pool=pool,
+        malleable_app_factory=malleable_app_factory,
     )
     return run, net
 

@@ -30,8 +30,7 @@ def test_poisson_schedule_deterministic_across_configs():
         run.start()
         run.enable_random_failures(mttf=4.0, max_failures=1)
         sim.run_until_complete(run.completed, limit=1e5)
-        records = [r for r in []]
-        return run.injector.kills[0][0] if run.injector.kills else None
+        return run.injector.kills[0].time if run.injector.kills else None
 
     t1 = first_failure_time(0.7)
     t2 = first_failure_time(3.0)

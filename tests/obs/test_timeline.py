@@ -84,6 +84,44 @@ def test_vcl_timeline_shows_logging_windows_and_logged_counter():
         assert final == pytest.approx(run.stats.logged_bytes)
 
 
+def test_recovery_slices_and_agreement_instants():
+    """A survivor recovery adds a second protocol-track thread with the
+    detect/agree/promote/restore spans and one instant per agreement
+    ballot; failure-free runs carry none of it (no thread metadata)."""
+    sim = Simulator(seed=123, trace=Tracer(enabled=True))
+    bench = BT(klass="B", scale=0.05)
+    spec = DeploymentSpec(
+        n_procs=4, protocol="pcl", period=1.5,
+        image_bytes=bench.image_bytes(4) * 0.05,
+        recovery_policy="spare", spares=2,
+    )
+    run = build_run(sim, spec, bench.make_app(4), name="recovery-probe")
+    run.start()
+    run.schedule_node_kill(1, 2.8)
+    sim.run_until_complete(run.completed, limit=1e8)
+    doc = build_timeline(sim.trace.records)
+    assert validate_trace_events(doc) == []
+    slices = [e for e in doc["traceEvents"]
+              if e["ph"] == "X" and e.get("cat") == "recovery"]
+    assert {e["name"] for e in slices} == \
+        {"detect", "agree", "promote", "restore"}
+    assert all(e["tid"] == 2 and e["args"]["policy"] == "spare"
+               for e in slices)
+    instants = [e for e in doc["traceEvents"]
+                if e["ph"] == "i" and e.get("cat") == "recovery"]
+    assert instants and all("ballot" in e["name"] for e in instants)
+    threads = [e for e in doc["traceEvents"]
+               if e["ph"] == "M" and e["pid"] == 1 and e["tid"] == 2]
+    assert threads and threads[0]["args"]["name"] == "recovery"
+    # failure-free twin: the recovery thread does not exist at all
+    clean_sim, _clean = _traced_run("pcl")
+    clean_doc = build_timeline(clean_sim.trace.records)
+    assert not [e for e in clean_doc["traceEvents"]
+                if e.get("cat") == "recovery"
+                or (e["ph"] == "M" and e.get("pid") == 1
+                    and e.get("tid") == 2)]
+
+
 def test_export_round_trip(tmp_path):
     sim, run = _traced_run("pcl")
     jsonl = str(tmp_path / "run.jsonl")

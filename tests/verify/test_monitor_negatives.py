@@ -26,8 +26,10 @@ from repro.verify.monitors import (
     FdBudgetMonitor,
     FifoDeliveryMonitor,
     LivelockMonitor,
+    MembershipAgreementMonitor,
     MonotoneClockMonitor,
     PclFlushMonitor,
+    SpareConsistencyMonitor,
     StorageDurabilityMonitor,
     VclLoggingMonitor,
     VclNoOrphanMonitor,
@@ -317,6 +319,121 @@ CASES = {
             match="already died",
         ),
     ],
+    "membership-agreement": [
+        dict(
+            label="survivors-disagree",
+            # clean: ballot 1 proposes failed={2}, every survivor commits
+            # exactly that set, then recovery begins
+            clean=dict(records=[
+                rec(1.0, "ft.membership_round", ballot=1, coordinator=0,
+                    failed=(2,), survivors=3),
+                rec(1.1, "ft.membership_commit", rank=0, ballot=1,
+                    failed=(2,)),
+                rec(1.1, "ft.membership_commit", rank=1, ballot=1,
+                    failed=(2,)),
+                rec(1.1, "ft.membership_commit", rank=3, ballot=1,
+                    failed=(2,)),
+                rec(1.2, "ft.recovery_begin", policy="spare", ballot=1,
+                    failed=(2,), n_ranks=4, committed=1, incarnation=1),
+            ]),
+            # corrupt: rank 1 commits a different failed set — a partial view
+            corrupt=dict(records=[
+                rec(1.0, "ft.membership_round", ballot=1, coordinator=0,
+                    failed=(2,), survivors=3),
+                rec(1.1, "ft.membership_commit", rank=0, ballot=1,
+                    failed=(2,)),
+                rec(1.1, "ft.membership_commit", rank=1, ballot=1,
+                    failed=(3,)),
+            ]),
+            match="survivors disagree",
+        ),
+        dict(
+            label="recovery-without-full-commit",
+            clean=dict(records=[
+                rec(1.0, "ft.membership_round", ballot=1, coordinator=0,
+                    failed=(2,), survivors=3),
+                rec(1.1, "ft.membership_commit", rank=0, ballot=1,
+                    failed=(2,)),
+                rec(1.1, "ft.membership_commit", rank=1, ballot=1,
+                    failed=(2,)),
+                rec(1.1, "ft.membership_commit", rank=3, ballot=1,
+                    failed=(2,)),
+                rec(1.2, "ft.recovery_begin", policy="spare", ballot=1,
+                    failed=(2,), n_ranks=4, committed=1, incarnation=1),
+            ]),
+            # corrupt: recovery acts before survivor 3 committed the ballot
+            corrupt=dict(records=[
+                rec(1.0, "ft.membership_round", ballot=1, coordinator=0,
+                    failed=(2,), survivors=3),
+                rec(1.1, "ft.membership_commit", rank=0, ballot=1,
+                    failed=(2,)),
+                rec(1.1, "ft.membership_commit", rank=1, ballot=1,
+                    failed=(2,)),
+                rec(1.2, "ft.recovery_begin", policy="spare", ballot=1,
+                    failed=(2,), n_ranks=4, committed=1, incarnation=1),
+            ]),
+            match="not exactly the survivors",
+        ),
+    ],
+    "spare-consistency": [
+        dict(
+            label="stale-wave-restore",
+            # clean: the promoted spare restores the newest committed wave
+            clean=dict(records=[
+                rec(1.0, "ft.recovery_begin", policy="spare", ballot=1,
+                    failed=(2,), n_ranks=4, committed=2, incarnation=1),
+                rec(1.1, "ft.promoted", rank=2, node="spare-0",
+                    incarnation=1),
+                rec(1.2, "ft.spare_restore", rank=2, wave=2, node="spare-0"),
+                rec(1.3, "ft.restarted", wave=2, incarnation=1),
+            ]),
+            # corrupt: it restores an older wave without a recorded fallback
+            corrupt=dict(records=[
+                rec(1.0, "ft.recovery_begin", policy="spare", ballot=1,
+                    failed=(2,), n_ranks=4, committed=2, incarnation=1),
+                rec(1.1, "ft.promoted", rank=2, node="spare-0",
+                    incarnation=1),
+                rec(1.2, "ft.spare_restore", rank=2, wave=1, node="spare-0"),
+            ]),
+            match="newest committed image",
+        ),
+        dict(
+            label="promoted-surviving-rank",
+            # clean: a cascading node kill inside the recovery legitimizes
+            # promoting a rank outside the agreed failed set
+            clean=dict(records=[
+                rec(1.0, "ft.recovery_begin", policy="spare", ballot=1,
+                    failed=(2,), n_ranks=4, committed=2, incarnation=1),
+                rec(1.05, "ft.failure", kind="node", node="cluster-001"),
+                rec(1.1, "ft.promoted", rank=1, node="spare-0",
+                    incarnation=1),
+                rec(1.2, "ft.spare_restore", rank=1, wave=2, node="spare-0"),
+                rec(1.3, "ft.restarted", wave=2, incarnation=1),
+            ]),
+            # corrupt: same promotion with no casualty — a surviving rank
+            # was evicted from its engine
+            corrupt=dict(records=[
+                rec(1.0, "ft.recovery_begin", policy="spare", ballot=1,
+                    failed=(2,), n_ranks=4, committed=2, incarnation=1),
+                rec(1.1, "ft.promoted", rank=1, node="spare-0",
+                    incarnation=1),
+            ]),
+            match="surviving rank lost its engine",
+        ),
+        dict(
+            label="restore-outside-recovery",
+            clean=dict(records=[
+                rec(1.0, "ft.recovery_begin", policy="spare", ballot=1,
+                    failed=(2,), n_ranks=4, committed=2, incarnation=1),
+                rec(1.2, "ft.spare_restore", rank=2, wave=2, node="spare-0"),
+                rec(1.3, "ft.restarted", wave=2, incarnation=1),
+            ]),
+            corrupt=dict(records=[
+                rec(1.2, "ft.spare_restore", rank=2, wave=2, node="spare-0"),
+            ]),
+            match="outside an open spare recovery",
+        ),
+    ],
 }
 
 _MONITOR_CLASSES = {
@@ -331,6 +448,8 @@ _MONITOR_CLASSES = {
     "engine-liveness": LivelockMonitor,
     "wave-liveness": WaveLivenessMonitor,
     "storage-durability": StorageDurabilityMonitor,
+    "membership-agreement": MembershipAgreementMonitor,
+    "spare-consistency": SpareConsistencyMonitor,
 }
 
 _ALL_CASES = [
