@@ -8,6 +8,13 @@ designed to scale to large platforms."
 
 This experiment sweeps process counts through both launchers' validators and
 runs a small end-to-end confirmation either side of the wall.
+
+Beyond the paper's sweep, non-smoke profiles extend the figure to the FTPM
+ceiling: the validator sweep continues through 10,000 processes and an
+actual 10,000-rank token-ring wave is launched and run end to end
+(``_extended_confirmation``).  The smoke profile keeps the original seven
+sizes so the committed ``results/scale_limit_smoke.json`` golden stays
+byte-identical.
 """
 
 from __future__ import annotations
@@ -22,9 +29,37 @@ __all__ = ["run"]
 
 _SIZES = (64, 144, 256, 324, 400, 529, 1024)
 
+#: the 10k-rank extension (non-smoke profiles): validator sweep up to and
+#: past the FTPM ceiling, plus one end-to-end run at the ceiling itself
+_EXTENDED_SIZES = (2048, 4096, 10_000, 10_001)
+_CEILING = 10_000
+
+
+def _extended_confirmation() -> int:
+    """Launch and run a 10,000-rank token-ring wave; events processed.
+
+    Uses the same machinery as the ``scale_10k`` perf workload (FTPM
+    launch, connection fan-out, one ring round) — the point is that the
+    runtime actually *runs* at the ceiling, not merely that the validator
+    admits it.
+    """
+    from repro.apps.synthetic import token_ring
+    from repro.runtime import DeploymentSpec, build_run
+    from repro.sim import make_simulator
+
+    sim = make_simulator(seed=13)
+    spec = DeploymentSpec(n_procs=_CEILING, protocol=None, launcher="ftpm",
+                          procs_per_node=2, n_compute_nodes=_CEILING // 2)
+    run = build_run(sim, spec, token_ring(rounds=1), name="scale-limit-10k")
+    run.start()
+    sim.run_until_complete(run.completed, limit=1e8)
+    return sim.events_processed
+
 
 def run(profile: Profile) -> FigureResult:
     dispatcher, ftpm = Dispatcher(), FTPM()
+    extended = profile.name != "smoke"
+    sizes = _SIZES + _EXTENDED_SIZES if extended else _SIZES
 
     def admits(launcher, n: int) -> float:
         try:
@@ -33,12 +68,12 @@ def run(profile: Profile) -> FigureResult:
         except ScaleLimitError:
             return 0.0
 
-    vcl_ok = [admits(dispatcher, n) for n in _SIZES]
-    pcl_ok = [admits(ftpm, n) for n in _SIZES]
+    vcl_ok = [admits(dispatcher, n) for n in sizes]
+    pcl_ok = [admits(ftpm, n) for n in sizes]
 
     # end-to-end confirmation just beyond the wall: Pcl must actually run
     # a job the dispatcher refuses
-    beyond = next(n for n, ok in zip(_SIZES, vcl_ok) if not ok)
+    beyond = next(n for n, ok in zip(sizes, vcl_ok) if not ok)
     bench = BT(klass="A", scale=min(profile.time_scale, 0.05))
     p = 361 if beyond <= 361 else beyond  # keep it a perfect square for BT
     pcl_run = execute(bench, p, "pcl", profile, period=1e6,
@@ -47,30 +82,44 @@ def run(profile: Profile) -> FigureResult:
 
     checks = {
         "dispatcher admits the paper's <=256-process Vcl runs":
-            all(ok for n, ok in zip(_SIZES, vcl_ok) if n <= 256),
+            all(ok for n, ok in zip(sizes, vcl_ok) if n <= 256),
         "dispatcher refuses >300 processes (select() wall)":
-            all(not ok for n, ok in zip(_SIZES, vcl_ok) if n > 340),
-        "ftpm admits every tested size up to 1024": all(pcl_ok),
+            all(not ok for n, ok in zip(sizes, vcl_ok) if n > 340),
+        "ftpm admits every tested size up to 1024":
+            all(ok for n, ok in zip(sizes, pcl_ok) if n <= 1024),
         f"pcl actually runs at {p} processes":
             pcl_run.completion > 0,
         "the wall sits near 1024/3 processes":
             300 <= dispatcher.max_processes() <= 341,
     }
+    notes = [
+        f"dispatcher limit: {dispatcher.max_processes()} processes "
+        "(1024-descriptor select() set, 3 sockets/process)",
+        f"end-to-end Pcl run at {p} processes completed in "
+        f"{pcl_run.completion:.1f}s",
+    ]
+    if extended:
+        checks["ftpm admits every size up to its 10000 ceiling"] = \
+            all(ok for n, ok in zip(sizes, pcl_ok) if n <= _CEILING)
+        checks["ftpm refuses beyond the 10000 ceiling"] = \
+            all(not ok for n, ok in zip(sizes, pcl_ok) if n > _CEILING)
+        wave_events = _extended_confirmation()
+        checks[f"ftpm actually runs a {_CEILING}-rank wave"] = \
+            wave_events > _CEILING
+        notes.append(
+            f"end-to-end {_CEILING}-rank token-ring wave processed "
+            f"{wave_events} events"
+        )
     return FigureResult(
         figure_id="scale_limit",
         title="Runtime scalability wall: MPICH-V dispatcher vs FTPM",
         x_label="processes",
         y_label="admitted (1) / refused (0)",
         series=[
-            Series("vcl dispatcher", [float(n) for n in _SIZES], vcl_ok),
-            Series("pcl ftpm", [float(n) for n in _SIZES], pcl_ok),
+            Series("vcl dispatcher", [float(n) for n in sizes], vcl_ok),
+            Series("pcl ftpm", [float(n) for n in sizes], pcl_ok),
         ],
         checks=checks,
-        notes=[
-            f"dispatcher limit: {dispatcher.max_processes()} processes "
-            "(1024-descriptor select() set, 3 sockets/process)",
-            f"end-to-end Pcl run at {p} processes completed in "
-            f"{pcl_run.completion:.1f}s",
-        ],
+        notes=notes,
         profile=profile.name,
     )

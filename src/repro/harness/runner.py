@@ -17,7 +17,7 @@ from repro.ft.protocol import FTStats
 from repro.harness.config import Profile
 from repro.obs import attach_metrics
 from repro.runtime import DeploymentSpec, build_run
-from repro.sim import Simulator, Tracer, Watchdog
+from repro.sim import Simulator, Tracer, Watchdog, make_simulator
 from repro.verify import MonitorBus, all_monitors
 
 __all__ = [
@@ -220,8 +220,10 @@ def execute(
         watchdog = Watchdog()
     elif watchdog is False:
         watchdog = None
-    sim = Simulator(seed=profile.seed if seed is None else seed,
-                    trace=tracer, watchdog=watchdog)
+    # make_simulator honours REPRO_KERNEL: the differential rig runs whole
+    # figure grid points on the naive reference kernel through this line.
+    sim = make_simulator(seed=profile.seed if seed is None else seed,
+                         trace=tracer, watchdog=watchdog)
     if metrics is None:
         metrics = metrics_enabled()
     registry = attach_metrics(sim) if metrics else None

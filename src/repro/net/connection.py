@@ -56,6 +56,7 @@ class _Pipe:
         "_last_delivery",
         "_msg_id",
         "_flush_gen",
+        "_sent_name",
     )
 
     def __init__(
@@ -90,6 +91,9 @@ class _Pipe:
         #: FIFO position of the last message accepted for sending; ids are
         #: only assigned while a monitor subscribes to net.* (repro.verify)
         self._msg_id = 0
+        #: precomputed sent-event label (send() is hot; an f-string per
+        #: message showed up in profiles)
+        self._sent_name = f"sent:{name}"
 
     # ------------------------------------------------------------------ send
     def send(self, payload: Any, nbytes: float, extra_latency: float = 0.0) -> Event:
@@ -106,7 +110,7 @@ class _Pipe:
                          msg=msg_id, nbytes=nbytes)
         else:
             msg_id = 0
-        sent = self.sim.event(name=f"sent:{self.name}")
+        sent = self.sim.event(name=self._sent_name)
         if (
             not self.pumping
             and nbytes <= _INLINE_BYTES

@@ -13,15 +13,18 @@ deterministic and captures the contention effects the paper's experiments
 depend on (checkpoint image transfers competing with MPI traffic on NICs and
 WAN uplinks).
 
-Completions are driven by cancellable engine timers
-(:class:`~repro.sim.engine.TimerHandle`): each active flow owns at most one
-finish timer, and every re-rate cancels and re-arms it in O(1) — the fresh
-heap sequence number each re-arm takes is part of the deterministic event
-total order, so a "keep the live timer when the fire time is unchanged"
-shortcut is deliberately *not* taken (see ``_schedule_finish``).  Per-link
-flow membership is an insertion-ordered dict, already sorted by creation
-index, so the re-rate pass merges neighbour lists instead of re-sorting
-them.
+Completions are driven by re-armable engine timer slots
+(:class:`~repro.sim.engine.TimerHandle`): each active flow owns one finish
+timer for its whole lifetime, and every re-rate moves it with
+:meth:`~repro.sim.engine.TimerHandle.rearm` — no allocation, no heap
+operation unless the fire time moved earlier.  Each re-arm still burns a
+fresh heap sequence number, because that number is part of the
+deterministic event total order (same-instant completions tie-break on it):
+a "keep the live timer's sequence when the fire time is unchanged"
+shortcut was tried once and reverted for reordering same-timestamp events
+(see ``_schedule_finish``).  Per-link flow membership is an
+insertion-ordered dict, already sorted by creation index, so the re-rate
+pass merges neighbour lists instead of re-sorting them.
 """
 
 from __future__ import annotations
@@ -32,6 +35,8 @@ import operator
 from typing import Iterable, List, Optional, Sequence, Set
 
 from repro.net.link import Link
+from repro.sim.engine import _NO_ENTRY
+from repro.sim.events import NORMAL
 
 __all__ = ["Flow", "FlowScheduler"]
 
@@ -117,19 +122,22 @@ class FlowScheduler:
             flow.finished = True
             done.succeed(flow)
             return flow
-        # Settle neighbours at their old rates before link counts change.
+        # Collect neighbours before link membership changes, then settle and
+        # re-rate in one fused pass: settling reads only the flow's own
+        # fields (its *old* rate), never link state, so it is safe after the
+        # membership update, and fusing halves the traversals on the hottest
+        # path in the simulator.
         affected = self._neighbours(flow.links)
         now = self.sim.now
-        for other in affected:
-            self._settle(other, now)
         for link in flow.links:
             link.flows[flow] = None
         flow.last_settle = now
         self.active.add(flow)
-        # The new flow carries the highest index, so appending keeps the
-        # list in creation-index order.
-        affected.append(flow)
-        self._rerate(affected)
+        self._settle_and_rerate(affected, now)
+        # The new flow carries the highest index, so re-rating it last keeps
+        # finish-timer sequence numbers in creation-index order.
+        flow.rate = self._rate_of(flow)
+        self._schedule_finish(flow)
         return flow
 
     # ---------------------------------------------------------------- cancel
@@ -157,7 +165,34 @@ class FlowScheduler:
             return []
         if len(streams) == 1:
             return list(streams[0])
-        merged: List[Flow] = []
+        if len(streams) == 2:
+            # The dominant multi-link shape (a NIC plus a shared backbone):
+            # a hand-rolled two-pointer merge beats heapq.merge's generator
+            # and key-wrapper machinery.  Indexes are unique per flow, so an
+            # index tie means the same flow appears on both links.
+            left, right = list(streams[0]), list(streams[1])
+            merged = []
+            append = merged.append
+            i = j = 0
+            ni, nj = len(left), len(right)
+            while i < ni and j < nj:
+                a, b = left[i], right[j]
+                if a is b:
+                    append(a)
+                    i += 1
+                    j += 1
+                elif a.index < b.index:
+                    append(a)
+                    i += 1
+                else:
+                    append(b)
+                    j += 1
+            if i < ni:
+                merged.extend(left[i:])
+            elif j < nj:
+                merged.extend(right[j:])
+            return merged
+        merged = []
         last: Optional[Flow] = None
         for flow in heapq.merge(*streams, key=_flow_index):
             if flow is not last:
@@ -175,21 +210,96 @@ class FlowScheduler:
         flow.last_settle = now
 
     def _rate_of(self, flow: Flow) -> float:
-        rate = min(link.fair_share() for link in flow.links)
-        if flow.cap is not None:
-            rate = min(rate, flow.cap)
+        # Inlined fair_share: a running min over the links performs the same
+        # float comparisons and divisions, in the same order, as the old
+        # ``min(link.fair_share() for link in flow.links)`` — without a
+        # generator frame and a method call per link.
+        rate = math.inf
+        for link in flow.links:
+            n = len(link.flows)
+            share = link.capacity if n <= 1 else link.capacity / n
+            if share < rate:
+                rate = share
+        cap = flow.cap
+        if cap is not None and cap < rate:
+            rate = cap
         return rate
 
-    def _rerate(self, flows: Iterable[Flow]) -> None:
+    def _settle_and_rerate(self, flows: Iterable[Flow], now: float) -> None:
         # ``flows`` arrives in creation-index order (see _neighbours): the
-        # order finish timers are (re)armed assigns event seq numbers, and
+        # order finish timers are re-armed assigns event seq numbers, and
         # same-instant completions must tie-break the same way every run or
-        # traces stop being reproducible.
+        # traces stop being reproducible.  Settling and re-rating fuse into
+        # one pass because a settle reads only its own flow's fields at the
+        # flow's *old* rate — an earlier flow's re-rate cannot disturb it.
+        # The loop body manually inlines _settle, _rate_of and the live
+        # branch of _schedule_finish — this runs once per (neighbour,
+        # churn event) pair, the single hottest path in the simulator, and
+        # two method calls per flow were a measurable share of bt_wave.
+        # Any semantic change here must be mirrored in those methods.
+        sim = self.sim
+        inf = math.inf
+        nextafter = math.nextafter
+        call_at = sim.call_at
+        heappush = heapq.heappush
+        maybe_compact = sim._maybe_compact
         for flow in flows:
-            if not flow.active:
+            old_rate = flow.rate
+            if old_rate > 0.0:
+                elapsed = now - flow.last_settle
+                if elapsed > 0.0:
+                    remaining_bytes = flow.bytes_remaining - old_rate * elapsed
+                    flow.bytes_remaining = (
+                        remaining_bytes if remaining_bytes > 0.0 else 0.0
+                    )
+            flow.last_settle = now
+            if not flow.active:  # pragma: no cover - links hold active flows
                 continue
-            flow.rate = self._rate_of(flow)
-            self._schedule_finish(flow)
+            rate = inf
+            for link in flow.links:
+                flows_on_link = link.flows
+                n = len(flows_on_link)
+                share = link.capacity if n <= 1 else link.capacity / n
+                if share < rate:
+                    rate = share
+            cap = flow.cap
+            if cap is not None and cap < rate:
+                rate = cap
+            flow.rate = rate
+            if rate <= 0.0:  # pragma: no cover - capacities are positive
+                self._schedule_finish(flow)
+                continue
+            bytes_remaining = flow.bytes_remaining
+            remaining = (bytes_remaining if bytes_remaining > 0.0 else 0.0) / rate
+            if now + remaining <= now:
+                # sub-ulp residue: see _schedule_finish
+                remaining = nextafter(now, inf) - now
+            timer = flow._timer
+            if timer is not None:
+                # Inline of TimerHandle.rearm (~87k calls per bt_wave run,
+                # 81% of them the lazy no-heap-op path).  The guard checks
+                # rearm performs are invariants here: ``remaining`` is
+                # non-negative by construction and a flow's stored timer is
+                # never cancelled (_detach and the zero-rate branch null it
+                # out when they cancel).
+                seq = sim._seq + 1
+                sim._seq = seq
+                fire = now + remaining
+                timer.time = fire
+                timer.seq = seq
+                hseq = timer.heap_seq
+                if hseq == _NO_ENTRY or fire < timer.heap_time:
+                    if hseq != _NO_ENTRY:
+                        sim._tombstones += 1
+                        sim._tombstones_total += 1
+                    timer.heap_time = fire
+                    timer.heap_seq = seq
+                    heappush(sim._heap, (fire, NORMAL, seq, timer))
+                    maybe_compact()
+            else:
+                flow._timer = call_at(
+                    remaining, self._on_timer, flow, name="flow-finish"
+                )
 
     def _schedule_finish(self, flow: Flow) -> None:
         timer = flow._timer
@@ -208,20 +318,22 @@ class FlowScheduler:
             # the Pcl procs_per_node=2 livelock.  Round the delay up to one
             # ulp so the clock advances and the settle drains the residue.
             remaining = math.nextafter(now, math.inf) - now
-        # Always cancel and re-arm, even when the recomputed fire time is
-        # unchanged: the finish timer's heap sequence number is part of the
-        # deterministic total order (same-instant completions tie-break on
-        # it), and the pre-TimerHandle kernel re-armed on every re-rate.
-        # Keeping a live timer would freeze its old sequence number and
-        # reorder same-timestamp events — observable as last-ulp drift in
-        # figure rows.  Cancellation is O(1) and the tombstone is discarded
-        # without event dispatch, so re-arming is still far cheaper than the
-        # old abandoned-Timeout scheme.
+        # Re-arm the flow's slot in place.  Every re-rate still burns a
+        # fresh heap sequence number — rearm() is seq-for-seq equivalent to
+        # the cancel()+call_at() pair it replaced, because the sequence
+        # number is part of the deterministic total order (same-instant
+        # completions tie-break on it) and freezing it was measured to
+        # reorder same-timestamp events (last-ulp drift in figure rows).
+        # What rearm() *does* skip is the heap traffic: a finish time that
+        # stayed put or moved later keeps its existing heap entry, and the
+        # engine reconciles the entry to the authoritative (time, seq) if
+        # it ever surfaces early.
         if timer is not None:
-            timer.cancel()
-        flow._timer = self.sim.call_at(
-            remaining, self._on_timer, flow, name="flow-finish"
-        )
+            timer.rearm(remaining)
+        else:
+            flow._timer = self.sim.call_at(
+                remaining, self._on_timer, flow, name="flow-finish"
+            )
 
     def _on_timer(self, flow: Flow) -> None:
         flow._timer = None
@@ -246,7 +358,4 @@ class FlowScheduler:
         for link in flow.links:
             link.flows.pop(flow, None)
         affected = self._neighbours(flow.links)
-        now = self.sim.now
-        for other in affected:
-            self._settle(other, now)
-        self._rerate(affected)
+        self._settle_and_rerate(affected, self.sim.now)

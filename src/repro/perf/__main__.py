@@ -11,6 +11,12 @@ Refresh the baseline after an intentional perf change::
 
 ``--no-check`` measures without judging; ``--only`` restricts to named
 workloads; ``--json`` additionally writes the report somewhere else.
+
+The check has two halves (see :mod:`repro.perf.bench`): exact
+``events``/``pops`` counts (deterministic, always gating when the run's
+suite matches the baseline's) and events/sec wall throughput (noisy;
+``--wall-advisory`` demotes its failures to warnings so a slow CI runner
+alone cannot fail the job).
 """
 
 from __future__ import annotations
@@ -23,6 +29,7 @@ from typing import List, Optional
 from repro.perf.bench import (
     DEFAULT_BASELINE,
     DEFAULT_TOLERANCE,
+    compare_counts,
     compare_to_baseline,
     load_baseline,
     run_suite,
@@ -52,6 +59,10 @@ def build_parser() -> argparse.ArgumentParser:
                              "(default 0.30)")
     parser.add_argument("--no-check", action="store_true",
                         help="measure only; skip the baseline comparison")
+    parser.add_argument("--wall-advisory", action="store_true",
+                        help="report events/sec regressions as warnings "
+                             "instead of failures; the deterministic "
+                             "events/pops count check still gates")
     parser.add_argument("--update", action="store_true",
                         help="rewrite the baseline with this run "
                              "(preserves the recorded kernel_before)")
@@ -101,10 +112,22 @@ def main(argv: Optional[List[str]] = None) -> int:
             for name, entry in baseline.get("workloads", {}).items()
             if name in args.only
         }
-    regressions = compare_to_baseline(results, baseline,
-                                      tolerance=args.tolerance)
-    if regressions:
-        for message in regressions:
+    failures: List[str] = []
+    baseline_suite = (baseline.get("meta") or {}).get("suite")
+    if baseline_suite == args.suite:
+        failures.extend(compare_counts(results, baseline))
+    else:
+        print(f"note: counts not compared (run suite {args.suite!r} != "
+              f"baseline suite {baseline_suite!r})")
+    wall_regressions = compare_to_baseline(results, baseline,
+                                           tolerance=args.tolerance)
+    if args.wall_advisory:
+        for message in wall_regressions:
+            print(f"ADVISORY {message}", file=sys.stderr)
+    else:
+        failures.extend(wall_regressions)
+    if failures:
+        for message in failures:
             print(f"REGRESSION {message}", file=sys.stderr)
         return 1
     print("no regressions vs. baseline")

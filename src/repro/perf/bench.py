@@ -9,15 +9,25 @@ The contract of ``BENCH_engine.json`` (repo root):
   speedup claim stays auditable;
 * ``meta`` — suite name, repeat count, schema tag.
 
-Regression policy: a workload regresses when its ``events_per_sec`` falls
-more than ``tolerance`` (default 30%) below the committed baseline's.
-Events-per-second is fixed-work over wall time, so the check is a pure
-wall-time guard; the 30% head-room absorbs CI-runner noise while still
-catching a lost optimisation (the kernel overhaul is a >2x swing).
+Regression policy is two independent checks:
+
+* **Determinism** (:func:`compare_counts`) — each workload's ``events`` and
+  ``pops`` must match the baseline *exactly*.  The workloads are
+  deterministic simulations, so any drift means the kernel's observable
+  behaviour changed (an optimisation reordered events, a protocol edit
+  moved work) — a hard failure no matter how fast the machine is.
+* **Throughput** (:func:`compare_to_baseline`) — ``events_per_sec`` must
+  not fall more than ``tolerance`` (default 30%) below the baseline.  This
+  is a pure wall-time guard; the head-room absorbs CI-runner noise while
+  still catching a lost optimisation (the kernel overhaul is a >2x swing).
+  CI runs it in advisory mode (``--wall-advisory``): a slow shared runner
+  alone cannot fail the job, because the determinism check already pins
+  everything wall time cannot.
 """
 
 from __future__ import annotations
 
+import gc
 import json
 import os
 import time
@@ -35,6 +45,7 @@ __all__ = [
     "suite_report",
     "load_baseline",
     "compare_to_baseline",
+    "compare_counts",
 ]
 
 #: committed baseline file, resolved relative to the working directory
@@ -81,12 +92,25 @@ def run_workload(
     params = dict(params or {})
     best_wall: Optional[float] = None
     run: Optional[WorkloadRun] = None
-    for _ in range(max(1, repeat)):
-        started = clock()
-        candidate = workload(**params)
-        wall = clock() - started
-        if best_wall is None or wall < best_wall:
-            best_wall, run = wall, candidate
+    # Pause the cyclic collector while measuring: a collection landing
+    # mid-run charges its cost to whichever workload was unlucky.  The
+    # workloads allocate freely, so collect eagerly between runs instead.
+    gc_was_enabled = gc.isenabled()
+    try:
+        for _ in range(max(1, repeat)):
+            gc.collect()
+            if gc_was_enabled:
+                gc.disable()
+            started = clock()
+            candidate = workload(**params)
+            wall = clock() - started
+            if gc_was_enabled:
+                gc.enable()
+            if best_wall is None or wall < best_wall:
+                best_wall, run = wall, candidate
+    finally:
+        if gc_was_enabled:
+            gc.enable()
     assert run is not None and best_wall is not None
     wall = max(best_wall, 1e-9)
     return BenchResult(
@@ -149,10 +173,12 @@ def compare_to_baseline(
     baseline: Dict[str, Any],
     tolerance: float = DEFAULT_TOLERANCE,
 ) -> List[str]:
-    """Regression messages (empty when every workload holds the line).
+    """Wall-time regression messages (empty when every workload holds).
 
     Only workloads present in both the run and the baseline are compared,
-    so a smoke run checks cleanly against a full-suite baseline.
+    so a smoke run checks cleanly against a full-suite baseline.  This is
+    the timing-dependent half of the gate; :func:`compare_counts` is the
+    deterministic half.
     """
     regressions: List[str] = []
     for name, entry in baseline.get("workloads", {}).items():
@@ -168,3 +194,38 @@ def compare_to_baseline(
                 f"baseline {want:.0f} (tolerance {tolerance:.0%})"
             )
     return regressions
+
+
+def compare_counts(
+    results: Dict[str, BenchResult],
+    baseline: Dict[str, Any],
+) -> List[str]:
+    """Deterministic-count mismatches against the baseline (empty = clean).
+
+    A workload's ``events`` and ``pops`` are functions of its parameters
+    and the kernel's deterministic total event order — never of the host —
+    so an exact comparison catches behavioural drift that the wall-time
+    gate cannot see (and that wall-time noise cannot excuse).  The caveat:
+    a *smoke* run's counts differ from the committed *full*-suite baseline
+    by design, so callers must only compare counts measured with the
+    baseline's own suite parameters (``python -m repro.perf`` checks the
+    stored ``meta.suite`` and skips the count check on a suite mismatch).
+    """
+    mismatches: List[str] = []
+    for name, entry in baseline.get("workloads", {}).items():
+        current = results.get(name)
+        if current is None:
+            continue
+        want_events = entry.get("events")
+        want_pops = entry.get("pops")
+        if want_events is not None and current.events != want_events:
+            mismatches.append(
+                f"{name}: {current.events} events, baseline has "
+                f"{want_events} — deterministic workload changed behaviour"
+            )
+        if want_pops is not None and current.pops != want_pops:
+            mismatches.append(
+                f"{name}: {current.pops} engine pops, baseline has "
+                f"{want_pops} — deterministic workload changed behaviour"
+            )
+    return mismatches

@@ -21,6 +21,11 @@ dominated by one layer of the stack the figures depend on:
 * ``scale_337`` — the paper's scale boundary: an FTPM launch of 337
   processes (the count the Vcl dispatcher refuses, see Sec. 5.4) running a
   token ring, measuring the process/connection fan-out cost.
+* ``scale_10k`` — the same launch-and-wave at the FTPM ceiling: 10,000
+  ranks (``FTPM_MAX_PROCESSES``), one token-ring round.  This is the
+  figure scale the kernel optimisations target; it keeps the per-rank
+  constant factor of launch, connect and message dispatch honest where a
+  337-rank run would hide an O(n) term in the noise.
 * ``chaos_kill`` — one smoke-grid chaos scenario (node kill inside wave 1,
   rollback, restart) through :func:`repro.chaos.run_scenario`.
 
@@ -62,9 +67,9 @@ def flow_churn(churn: int = 400, persistent: int = 64,
     """
     from repro.net.flows import FlowScheduler
     from repro.net.link import Link
-    from repro.sim import Simulator
+    from repro.sim import make_simulator
 
-    sim = Simulator(seed=7)
+    sim = make_simulator(seed=7)
     scheduler = FlowScheduler(sim)
     backbone = Link("backbone", 1e9)
 
@@ -111,10 +116,10 @@ def netpipe(repeats: int = 3) -> WorkloadRun:
     """The NetPIPE calibration sweep, intra- and inter-cluster."""
     from repro.net import grid5000
     from repro.net.topology import Endpoint
-    from repro.sim import Simulator
+    from repro.sim import make_simulator
     from repro.tools import run_netpipe
 
-    sim = Simulator(seed=3)
+    sim = make_simulator(seed=3)
     grid = grid5000(sim)
     orsay = grid.clusters["orsay"].nodes
     rennes = grid.clusters["rennes"].nodes
@@ -191,12 +196,39 @@ def scale_337(n_procs: int = 337, rounds: int = 2) -> WorkloadRun:
     """
     from repro.apps.synthetic import token_ring
     from repro.runtime import DeploymentSpec, build_run
-    from repro.sim import Simulator
+    from repro.sim import make_simulator
 
-    sim = Simulator(seed=11)
+    sim = make_simulator(seed=11)
     spec = DeploymentSpec(n_procs=n_procs, protocol=None, launcher="ftpm",
                           procs_per_node=2)
     run = build_run(sim, spec, token_ring(rounds=rounds), name="perf-scale")
+    run.start()
+    sim.run_until_complete(run.completed, limit=1e8)
+    return WorkloadRun(
+        events=sim.events_processed,
+        pops=sim.events_processed,
+        extra={"n_procs": n_procs, "rounds": rounds},
+    )
+
+
+def scale_10k(n_procs: int = 10_000, rounds: int = 1) -> WorkloadRun:
+    """FTPM launch at its ceiling: a 10,000-rank token-ring wave.
+
+    Identical machinery to ``scale_337`` (spawn, connection fan-out, ring
+    messaging), at the scale the 10k-rank figures need.  One round of the
+    ring is ~30x the event count of the full scale_337 run, so this is the
+    suite's heavyweight: it exists to keep per-rank constants linear, not
+    to be fast.
+    """
+    from repro.apps.synthetic import token_ring
+    from repro.runtime import DeploymentSpec, build_run
+    from repro.sim import make_simulator
+
+    sim = make_simulator(seed=13)
+    spec = DeploymentSpec(n_procs=n_procs, protocol=None, launcher="ftpm",
+                          procs_per_node=2,
+                          n_compute_nodes=(n_procs + 1) // 2)
+    run = build_run(sim, spec, token_ring(rounds=rounds), name="perf-scale10k")
     run.start()
     sim.run_until_complete(run.completed, limit=1e8)
     return WorkloadRun(
@@ -231,6 +263,7 @@ WORKLOADS: Dict[str, Callable[..., WorkloadRun]] = {
     "bt_wave": bt_wave,
     "dcl_wave": dcl_wave,
     "scale_337": scale_337,
+    "scale_10k": scale_10k,
     "chaos_kill": chaos_kill,
 }
 
@@ -242,6 +275,7 @@ SUITES: Dict[str, Dict[str, Dict[str, Any]]] = {
         "bt_wave": {"n_procs": 16, "scale": 0.05},
         "dcl_wave": {"n_procs": 16, "scale": 0.05},
         "scale_337": {"n_procs": 337, "rounds": 1},
+        "scale_10k": {"n_procs": 10_000, "rounds": 1},
         "chaos_kill": {},
     },
     "full": {
@@ -250,6 +284,7 @@ SUITES: Dict[str, Dict[str, Dict[str, Any]]] = {
         "bt_wave": {"n_procs": 36, "scale": 0.05},
         "dcl_wave": {"n_procs": 36, "scale": 0.05},
         "scale_337": {"n_procs": 337, "rounds": 2},
+        "scale_10k": {"n_procs": 10_000, "rounds": 1},
         "chaos_kill": {},
     },
 }

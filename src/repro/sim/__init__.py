@@ -36,6 +36,7 @@ from repro.sim.events import (
 )
 from repro.sim.process import Interrupt, Process
 from repro.sim.primitives import Resource, Store
+from repro.sim.reference import KERNEL_ENV, ReferenceSimulator, make_simulator
 from repro.sim.rng import RngRegistry
 from repro.sim.trace import TraceRecord, Tracer
 
@@ -44,10 +45,12 @@ __all__ = [
     "AnyOf",
     "Condition",
     "DeadlockError",
+    "KERNEL_ENV",
     "LivelockError",
     "Event",
     "Interrupt",
     "Process",
+    "ReferenceSimulator",
     "Resource",
     "RngRegistry",
     "SimulationError",
@@ -59,4 +62,5 @@ __all__ = [
     "Watchdog",
     "TraceRecord",
     "Tracer",
+    "make_simulator",
 ]

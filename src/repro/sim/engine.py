@@ -5,15 +5,42 @@
 sequence number makes the order a deterministic total order, which is the
 backbone of the reproducibility guarantees the benchmark harness relies on.
 An item is either an :class:`~repro.sim.events.Event` or a
-:class:`TimerHandle` — a cancellable scheduled callback returned by
-:meth:`Simulator.call_at`.
+:class:`TimerHandle` — a cancellable, *re-armable* scheduled callback
+returned by :meth:`Simulator.call_at`.
 
-Cancellation is lazy: a cancelled handle becomes a *tombstone* that the
-loop discards when it surfaces at the heap top (never advancing the clock,
-never feeding the watchdog or step listeners), and the heap is compacted in
-place once tombstones outnumber live entries — so hot re-rate paths like
-the flow scheduler can cancel-and-reschedule without growing the heap by
-one dead entry per neighbourhood change.
+Slot-encoded timers
+-------------------
+A :class:`TimerHandle` is a reusable *slot*: its authoritative fire position
+``(handle.time, handle.seq)`` lives on the handle, outside the heap, and the
+heap holds disposable pointer entries.  The entry whose ``(time, seq)`` key
+matches ``(handle.heap_time, handle.heap_seq)`` is the handle's *anchor*;
+every other entry pointing at the handle is garbage awaiting lazy discard.
+This encoding makes the two hottest scheduler operations O(1):
+
+* :meth:`TimerHandle.cancel` sets the tombstone bit and leaves the anchor
+  where it is — exactly the lazy tombstone the pre-slot kernel used.
+* :meth:`TimerHandle.rearm` *moves* the timer.  It always burns a fresh
+  sequence number (matching, push for push and seq for seq, what an eager
+  ``cancel(); call_at()`` pair would have allocated — that is what keeps the
+  deterministic total order byte-identical to the eager kernel), but it only
+  touches the heap when the timer moved *earlier* than its anchor.  A timer
+  moved later (or re-armed at the same instant, the flow scheduler's common
+  case) keeps its anchor: when the anchor surfaces at the heap top ahead of
+  the authoritative position, the run loop *reconciles* — it re-pushes the
+  entry at the authoritative key if anything else must run first, or fires
+  the timer immediately (at its authoritative time and sequence) when the
+  anchor is next anyway.
+
+The reconciliation rule makes the optimisation exact rather than heuristic:
+the observable pop order is the total order over authoritative keys, which
+is precisely the order the eager kernel produces.  ``tests/sim/
+test_kernel_differential.py`` pins this with a differential rig against the
+retained naive kernel in :mod:`repro.sim.reference`.
+
+Garbage (tombstones, superseded anchors) is discarded when it surfaces —
+never advancing the clock, never feeding the watchdog or step listeners —
+and the heap is compacted in place once garbage outnumbers live entries, so
+hot re-rate paths can cancel-and-reschedule without growing the heap.
 
 The optional :class:`Watchdog` turns the two ways a discrete-event program
 can stall — a zero-time event cascade that never advances the clock, and a
@@ -51,32 +78,59 @@ __all__ = [
 #: both directions while tripping within a fraction of a second.
 DEFAULT_MAX_SAME_TIME_EVENTS = 100_000
 
+#: sentinel ``heap_seq`` meaning "no heap entry points at this handle"
+_NO_ENTRY = -1
+
+#: hot-loop bound for "no time limit": one float compare beats an is-None
+#: test plus a compare, and simulated times are always finite
+_INF = float("inf")
+
 
 class SimulationError(RuntimeError):
     """Raised for misuse of the simulation kernel (e.g. time travel)."""
 
 
 class TimerHandle:
-    """A scheduled callback that can be cancelled in O(1).
+    """A scheduled callback slot: cancellable and re-armable in O(1).
 
-    Returned by :meth:`Simulator.call_at`.  :meth:`cancel` marks the handle
-    a tombstone; the heap entry stays where it is and is discarded lazily
-    (see the module docstring).  A cancelled handle's callback is
-    guaranteed never to run.
+    Returned by :meth:`Simulator.call_at`.  The handle is the authoritative
+    record of when its callback runs — ``(time, seq)`` — while heap entries
+    are disposable pointers (see the module docstring).  :meth:`cancel`
+    marks the tombstone bit; a cancelled handle's callback is guaranteed
+    never to run.  :meth:`rearm` reuses the slot for a new fire time, which
+    is what lets one flow own one handle for its whole lifetime instead of
+    allocating a fresh handle per re-rate.
     """
 
-    __slots__ = ("sim", "time", "callback", "args", "name", "cancelled")
+    __slots__ = (
+        "sim",
+        "time",
+        "seq",
+        "heap_time",
+        "heap_seq",
+        "callback",
+        "args",
+        "name",
+        "cancelled",
+    )
 
     def __init__(
         self,
         sim: "Simulator",
         time: float,
+        seq: int,
         callback: Callable[..., None],
         args: Tuple[Any, ...],
         name: Optional[str],
     ) -> None:
         self.sim = sim
+        #: authoritative fire time
         self.time = time
+        #: authoritative tie-break sequence number
+        self.seq = seq
+        #: key of the anchor heap entry (the one entry that is not garbage)
+        self.heap_time = time
+        self.heap_seq = seq
         self.callback = callback
         self.args = args
         self.name = name
@@ -86,9 +140,51 @@ class TimerHandle:
         """Prevent the callback from running (idempotent)."""
         if not self.cancelled:
             self.cancelled = True
-            self.sim._note_tombstone()
+            if self.heap_seq != _NO_ENTRY:
+                self.heap_seq = _NO_ENTRY
+                self.sim._note_tombstone()
+
+    def rearm(self, delay: float) -> None:
+        """Move this timer to fire ``delay`` seconds from now.
+
+        Equivalent — including its effect on the deterministic total event
+        order — to ``self.cancel()`` followed by ``sim.call_at(delay,
+        self.callback, *self.args)``, but without allocating a handle and,
+        unless the timer moved earlier than its current heap anchor,
+        without touching the heap at all.  An already-fired slot is
+        re-armed with a fresh heap entry; re-arming a cancelled slot is a
+        programming error (cancel() promises the callback never runs).
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule {delay!r}s into the past")
+        if self.cancelled:
+            raise SimulationError("cannot rearm a cancelled timer")
+        sim = self.sim
+        sim._seq += 1
+        seq = sim._seq
+        time = sim._now + delay
+        self.time = time
+        self.seq = seq
+        anchor = self.heap_seq
+        if anchor != _NO_ENTRY and time >= self.heap_time:
+            # Lazy move: the anchor surfaces no later than the authoritative
+            # position; the run loop reconciles it there.
+            return
+        if anchor != _NO_ENTRY:
+            # Moving earlier: the old anchor becomes garbage and a fresh
+            # entry is pushed so the timer cannot fire late.
+            self.sim._tombstones += 1
+            self.sim._tombstones_total += 1
+        self.heap_time = time
+        self.heap_seq = seq
+        heapq.heappush(sim._heap, (time, NORMAL, seq, self))
+        sim._maybe_compact()
 
     def _process(self) -> None:
+        # The anchor entry was just popped: forget it *before* the callback
+        # runs, so a rearm from inside the callback pushes a fresh entry
+        # instead of lazily trusting an entry that no longer exists.
+        self.heap_seq = _NO_ENTRY
         self.callback(*self.args)
 
     def describe(self) -> str:
@@ -288,13 +384,14 @@ class Watchdog:
 
     @staticmethod
     def _waiting_report(sim: "Simulator", limit: int = 12) -> Tuple[str, ...]:
-        # Over-sample so tombstones (cancelled timers awaiting lazy
-        # discard) don't crowd live waiters out of the report.
+        # Over-sample so garbage entries (tombstones and superseded anchors
+        # awaiting lazy discard) don't crowd live waiters out of the report.
         head = heapq.nsmallest(limit * 4, sim._heap)
         return tuple(
             f"t={entry_time!r} prio={priority} seq={seq} {event.describe()}"
             for entry_time, priority, seq, event in head
             if not event.cancelled
+            and seq == getattr(event, "heap_seq", seq)
         )[:limit]
 
 
@@ -314,8 +411,8 @@ class Simulator:
         whichever ``run`` variant is driving the loop.
     """
 
-    #: tombstone count below which compaction never triggers (a tiny heap
-    #: dominated by tombstones is not worth a heapify)
+    #: garbage count below which compaction never triggers (a tiny heap
+    #: dominated by garbage is not worth a heapify)
     COMPACT_MIN_TOMBSTONES = 64
 
     def __init__(
@@ -325,7 +422,7 @@ class Simulator:
         watchdog: Optional[Watchdog] = None,
     ) -> None:
         self._now = 0.0
-        self._heap: List[Tuple[float, int, int, Event]] = []
+        self._heap: List[Tuple[float, int, int, Any]] = []
         self._seq = 0
         self._events_processed = 0
         self._tombstones = 0
@@ -348,17 +445,20 @@ class Simulator:
 
     @property
     def events_processed(self) -> int:
-        """Total heap pops processed so far (the `repro.perf` denominator)."""
+        """Total live heap pops processed so far (the `repro.perf`
+        denominator); garbage discards are never counted."""
         return self._events_processed
 
     @property
     def tombstones_total(self) -> int:
-        """Cumulative timer cancellations over the run (never decremented)."""
+        """Cumulative garbage heap entries over the run: timer
+        cancellations plus anchors superseded by an earlier-moving
+        :meth:`TimerHandle.rearm` (never decremented)."""
         return self._tombstones_total
 
     @property
     def compactions(self) -> int:
-        """Number of in-place heap compactions triggered by tombstones."""
+        """Number of in-place heap compactions triggered by garbage."""
         return self._compactions
 
     # ------------------------------------------------------------- watchdog
@@ -408,14 +508,16 @@ class Simulator:
         """Run ``callback(*args)`` after ``delay`` seconds.
 
         Returns a :class:`TimerHandle` whose :meth:`~TimerHandle.cancel`
-        guarantees the callback never runs.  This is the cheap path for
-        scheduled callbacks: no :class:`~repro.sim.events.Event`, no
-        closure, one heap entry.
+        guarantees the callback never runs and whose
+        :meth:`~TimerHandle.rearm` reuses the slot for a new fire time.
+        This is the cheap path for scheduled callbacks: no
+        :class:`~repro.sim.events.Event`, no closure, one heap entry.
         """
         if delay < 0:
             raise SimulationError(f"cannot schedule {delay!r}s into the past")
         self._seq += 1
-        handle = TimerHandle(self, self._now + delay, callback, args, name)
+        handle = TimerHandle(self, self._now + delay, self._seq, callback,
+                             args, name)
         heapq.heappush(self._heap, (handle.time, NORMAL, self._seq, handle))
         return handle
 
@@ -424,60 +526,112 @@ class Simulator:
         if delay < 0:
             raise SimulationError(f"cannot schedule {delay!r}s into the past")
         self._seq += 1
+        event.seq = self._seq
         heapq.heappush(self._heap, (self._now + delay, priority, self._seq, event))
 
     def _note_tombstone(self) -> None:
-        """Account one cancelled heap entry; compact when they dominate.
+        """Account one garbage heap entry; compact when they dominate."""
+        self._tombstones += 1
+        self._tombstones_total += 1
+        self._maybe_compact()
+
+    def _maybe_compact(self) -> None:
+        """Rebuild the heap in place once garbage outnumbers live entries.
 
         Compaction is in place (the heap list's identity is load-bearing:
         the run loops hold a local binding) and deterministic — pop order
-        depends only on the entry tuples, not the heap's internal layout.
+        depends only on the entry keys, not the heap's internal layout.
+        Surviving timer anchors are re-keyed to their authoritative
+        ``(time, seq)`` so a lazily moved timer keeps exactly one entry.
         """
-        self._tombstones += 1
-        self._tombstones_total += 1
         heap = self._heap
-        if (self._tombstones > self.COMPACT_MIN_TOMBSTONES
+        if not (self._tombstones > self.COMPACT_MIN_TOMBSTONES
                 and self._tombstones * 2 > len(heap)):
-            heap[:] = [entry for entry in heap if not entry[3].cancelled]
-            heapq.heapify(heap)
-            self._tombstones = 0
-            self._compactions += 1
+            return
+        live: List[Tuple[float, int, int, Any]] = []
+        for entry in heap:
+            item = entry[3]
+            if item.cancelled:
+                continue
+            seq = item.seq
+            if seq == entry[2]:
+                live.append(entry)
+            elif entry[2] == item.heap_seq:
+                # a live timer's anchor, superseded by a lazy rearm:
+                # re-key it to the authoritative position
+                item.heap_time = item.time
+                item.heap_seq = seq
+                live.append((item.time, entry[1], seq, item))
+        heap[:] = live
+        heapq.heapify(heap)
+        self._tombstones = 0
+        self._compactions += 1
+
+    def _surface(self) -> Optional[Tuple[float, int, int, Any]]:
+        """Discard garbage and reconcile stale anchors at the heap top.
+
+        Returns the next *live* entry — popped, with its authoritative key —
+        or None when the heap has drained.  The non-inlined twin of the hot
+        run loops, used by :meth:`peek` and :meth:`step`.
+        """
+        heap = self._heap
+        while heap:
+            entry = heapq.heappop(heap)
+            time, priority, seq, item = entry
+            if item.seq == seq:
+                if item.cancelled:
+                    self._tombstones -= 1
+                    continue
+                return entry
+            # Slot-encoded timer whose authoritative position moved.
+            if item.cancelled or seq != item.heap_seq:
+                self._tombstones -= 1
+                continue
+            atime, aseq = item.time, item.seq
+            if heap and heap[0][:3] < (atime, priority, aseq):
+                item.heap_time = atime
+                item.heap_seq = aseq
+                heapq.heappush(heap, (atime, priority, aseq, item))
+                continue
+            return (atime, priority, aseq, item)
+        return None
 
     def peek(self) -> float:
         """Time of the next live event, or ``float('inf')`` when empty."""
-        heap = self._heap
-        while heap and heap[0][3].cancelled:
-            heapq.heappop(heap)
-            self._tombstones -= 1
-        return heap[0][0] if heap else float("inf")
+        entry = self._surface()
+        if entry is None:
+            return float("inf")
+        # _surface pops; restore the entry (now keyed authoritatively).
+        item = entry[3]
+        if isinstance(item, TimerHandle):
+            item.heap_time = entry[0]
+            item.heap_seq = entry[2]
+        heapq.heappush(self._heap, entry)
+        return entry[0]
 
     def step(self) -> None:
-        """Process exactly one live event (tombstones are discarded)."""
-        heap = self._heap
-        while heap:
-            time, priority, seq, item = heapq.heappop(heap)
-            if item.cancelled:
-                self._tombstones -= 1
-                continue
-            if time < self._now:  # pragma: no cover - guarded by _push
-                raise SimulationError("event heap went backwards in time")
-            self._now = time
-            self._events_processed += 1
-            # The watchdog sees the event *before* its callbacks run, while
-            # the waiting processes are still attached — that is what makes
-            # the cycle report name who would have been resumed.
-            if self._watchdog is not None:
-                self._watchdog.observe(self, time, item)
-            # Online monitors observe the raw pop order through the tracer's
-            # step listeners (repro.verify's total-order invariant); the
-            # list is empty unless a monitor asked for it.
-            listeners = self.trace.step_listeners
-            if listeners:
-                for listener in listeners:
-                    listener(time, priority, seq)
-            item._process()
-            return
-        raise SimulationError("step() on an empty event heap")
+        """Process exactly one live event (garbage is discarded)."""
+        entry = self._surface()
+        if entry is None:
+            raise SimulationError("step() on an empty event heap")
+        time, priority, seq, item = entry
+        if time < self._now:  # pragma: no cover - guarded by _push
+            raise SimulationError("event heap went backwards in time")
+        self._now = time
+        self._events_processed += 1
+        # The watchdog sees the event *before* its callbacks run, while
+        # the waiting processes are still attached — that is what makes
+        # the cycle report name who would have been resumed.
+        if self._watchdog is not None:
+            self._watchdog.observe(self, time, item)
+        # Online monitors observe the raw pop order through the tracer's
+        # step listeners (repro.verify's total-order invariant); the
+        # list is empty unless a monitor asked for it.
+        listeners = self.trace.step_listeners
+        if listeners:
+            for listener in listeners:
+                listener(time, priority, seq)
+        item._process()
 
     def run(self, until: Optional[float] = None) -> None:
         """Run until the heap drains or the clock reaches ``until``.
@@ -488,24 +642,38 @@ class Simulator:
         """
         if until is not None and until < self._now:
             raise SimulationError(f"until={until!r} is in the past (now={self._now!r})")
-        # Hot loop: locals for the heap, pop and listener list (all mutated
-        # in place, so the bindings stay live); the watchdog is re-read per
-        # pop because callbacks may legally arm or disarm it.
+        # Hot loop: locals for the heap, the heap ops, the listener list
+        # (all mutated in place, so the bindings stay live) and the
+        # watchdog (fixed for a run: nothing arms or disarms one from a
+        # callback).  ``until`` becomes a float so the per-pop bound check
+        # is one comparison instead of an is-None test plus a comparison.
         heap = self._heap
         pop = heapq.heappop
+        push = heapq.heappush
         listeners = self.trace.step_listeners
+        watchdog = self._watchdog
+        bound = _INF if until is None else until
         while heap:
-            time, priority, seq, item = heap[0]
-            if item.cancelled:
-                pop(heap)
-                self._tombstones -= 1
-                continue
-            if until is not None and time > until:
+            entry = pop(heap)
+            time, priority, seq, item = entry
+            if item.seq != seq or item.cancelled:
+                # Garbage, or the stale anchor of a lazily moved timer.
+                if item.cancelled or seq != item.heap_seq:
+                    self._tombstones -= 1
+                    continue
+                time, seq = item.time, item.seq
+                if time > bound or (heap and heap[0][:3] < (time, priority, seq)):
+                    item.heap_time = time
+                    item.heap_seq = seq
+                    push(heap, (time, priority, seq, item))
+                    if time > bound:
+                        break
+                    continue
+            elif time > bound:
+                push(heap, entry)
                 break
-            pop(heap)
             self._now = time
             self._events_processed += 1
-            watchdog = self._watchdog
             if watchdog is not None:
                 watchdog.observe(self, time, item)
             if listeners:
@@ -522,26 +690,45 @@ class Simulator:
         if the heap drains first, or :class:`TimeLimitError` when ``limit``
         is hit (both are :class:`SimulationError` subclasses).
         """
+        # Same hot-loop shape as run(); see the comment there.  The loop
+        # condition reads the event's state slot directly — the .processed
+        # property would cost a descriptor call per pop.
         heap = self._heap
         pop = heapq.heappop
+        push = heapq.heappush
         listeners = self.trace.step_listeners
-        while not event.processed:
-            while heap and heap[0][3].cancelled:
-                pop(heap)
-                self._tombstones -= 1
+        watchdog = self._watchdog
+        bound = _INF if limit is None else limit
+        done = Event.PROCESSED
+        while event._state != done:
             if not heap:
                 raise DeadlockError(
                     f"deadlock: event heap drained before {event!r} completed"
                 )
-            time, priority, seq, item = heap[0]
-            if limit is not None and time > limit:
+            entry = pop(heap)
+            time, priority, seq, item = entry
+            if item.seq != seq or item.cancelled:
+                if item.cancelled or seq != item.heap_seq:
+                    self._tombstones -= 1
+                    continue
+                time, seq = item.time, item.seq
+                if time > bound or (heap and heap[0][:3] < (time, priority, seq)):
+                    item.heap_time = time
+                    item.heap_seq = seq
+                    push(heap, (time, priority, seq, item))
+                    if time > bound:
+                        raise TimeLimitError(
+                            f"time limit {limit!r} reached before {event!r} "
+                            "completed"
+                        )
+                    continue
+            elif time > bound:
+                push(heap, entry)
                 raise TimeLimitError(
                     f"time limit {limit!r} reached before {event!r} completed"
                 )
-            pop(heap)
             self._now = time
             self._events_processed += 1
-            watchdog = self._watchdog
             if watchdog is not None:
                 watchdog.observe(self, time, item)
             if listeners:

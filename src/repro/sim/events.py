@@ -16,6 +16,7 @@ mirrors SimPy and turns silently dropped errors into loud test failures.
 
 from __future__ import annotations
 
+import heapq
 from typing import Any, Callable, List, Optional
 
 __all__ = ["Event", "Timeout", "Condition", "AllOf", "AnyOf"]
@@ -44,6 +45,7 @@ class Event:
         "_ok",
         "_state",
         "defused",
+        "seq",
     )
 
     #: life-cycle states
@@ -98,7 +100,14 @@ class Event:
         self._ok = True
         self._value = value
         self._state = Event.TRIGGERED
-        self.sim._push(self, 0.0, priority)
+        # Inline of sim._push(self, 0.0, priority): triggering is the
+        # hottest event-creation path and a zero delay needs no validation
+        # or addition (simulated times are never -0.0, so now + 0.0 == now).
+        sim = self.sim
+        seq = sim._seq + 1
+        sim._seq = seq
+        self.seq = seq
+        heapq.heappush(sim._heap, (sim._now, priority, seq, self))
         return self
 
     def fail(self, exception: BaseException, priority: int = NORMAL) -> "Event":
@@ -110,16 +119,26 @@ class Event:
         self._ok = False
         self._value = exception
         self._state = Event.TRIGGERED
-        self.sim._push(self, 0.0, priority)
+        sim = self.sim  # inline of sim._push(self, 0.0, priority); see succeed
+        seq = sim._seq + 1
+        sim._seq = seq
+        self.seq = seq
+        heapq.heappush(sim._heap, (sim._now, priority, seq, self))
         return self
 
     # ------------------------------------------------------------- processing
     def _process(self) -> None:
         """Run callbacks.  Called by the simulator exactly once."""
         self._state = Event.PROCESSED
-        callbacks, self.callbacks = self.callbacks, []
-        for callback in callbacks:
-            callback(self)
+        callbacks = self.callbacks
+        if callbacks:
+            # Detach before running so a callback appending to this event
+            # (legal but pointless once processed) cannot extend the loop;
+            # when there are no callbacks the existing empty list is kept,
+            # which skips an allocation per fire-and-forget event.
+            self.callbacks = []
+            for callback in callbacks:
+                callback(self)
         if self._ok is False and not self.defused:
             # Nobody consumed the failure: surface it from run().
             raise self._value

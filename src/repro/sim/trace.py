@@ -19,7 +19,6 @@ from __future__ import annotations
 
 import json
 from collections import Counter
-from dataclasses import dataclass
 from typing import (
     Any,
     Callable,
@@ -35,13 +34,27 @@ from typing import (
 __all__ = ["TraceRecord", "Tracer", "dump_jsonl", "load_jsonl"]
 
 
-@dataclass(frozen=True)
 class TraceRecord:
-    """One trace entry."""
+    """One trace entry.
 
-    time: float
-    category: str
-    fields: Tuple[Tuple[str, Any], ...]
+    A hand-rolled ``__slots__`` class rather than a frozen dataclass: one
+    record is built per stored-or-delivered trace event (tens of thousands
+    per figure run), and the frozen-dataclass ``__init__`` routes every
+    field through ``object.__setattr__``, which was a measurable slice of
+    the bt_wave profile.  Records are immutable by convention.
+    """
+
+    __slots__ = ("time", "category", "fields")
+
+    def __init__(
+        self,
+        time: float,
+        category: str,
+        fields: Tuple[Tuple[str, Any], ...],
+    ) -> None:
+        self.time = time
+        self.category = category
+        self.fields = fields
 
     def get(self, key: str, default: Any = None) -> Any:
         for name, value in self.fields:
@@ -51,6 +64,20 @@ class TraceRecord:
 
     def as_dict(self) -> Dict[str, Any]:
         return dict(self.fields)
+
+    def __eq__(self, other: Any) -> bool:
+        if not isinstance(other, TraceRecord):
+            return NotImplemented
+        return (self.time, self.category, self.fields) == (
+            other.time, other.category, other.fields
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.time, self.category, self.fields))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"TraceRecord(time={self.time!r}, "
+                f"category={self.category!r}, fields={self.fields!r})")
 
 
 class Tracer:

@@ -156,3 +156,24 @@ def test_ascii_plot_empty():
 def test_ascii_plot_validates_size():
     with pytest.raises(ValueError):
         ascii_plot([("a", [0], [0])], width=4, height=2)
+
+
+# -------------------------------------------- scale_limit 10k extension
+def test_scale_limit_extension_gated_by_profile():
+    """Non-smoke profiles extend the scale_limit sweep through the FTPM
+    10,000-rank ceiling and run an actual 10k-rank wave; the smoke profile
+    keeps the original seven sizes so the committed golden stays
+    byte-identical (the golden sweep itself pins the bytes)."""
+    from repro.harness.figures import scale_limit
+
+    extended = scale_limit.run(get_profile("quick", seed=0))
+    xs = extended.series[0].xs
+    assert 10_000.0 in xs and 10_001.0 in xs
+    assert extended.checks["ftpm admits every size up to its 10000 ceiling"]
+    assert extended.checks["ftpm refuses beyond the 10000 ceiling"]
+    assert extended.checks["ftpm actually runs a 10000-rank wave"]
+    assert all(extended.checks.values())
+
+    smoke = scale_limit.run(get_profile("smoke", seed=0))
+    assert max(smoke.series[0].xs) == 1024.0
+    assert not any("10000" in name for name in smoke.checks)

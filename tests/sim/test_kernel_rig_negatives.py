@@ -1,0 +1,186 @@
+"""Verification of the differential rig itself.
+
+A differential test that compares a kernel against a reference is only as
+good as its power to *reject*: if a broken kernel sails through, the green
+checkmark on the real kernel means nothing.  Mirroring
+``tests/verify/test_monitor_negatives.py`` (which feeds doctored traces to
+every monitor), this suite implements deliberately broken kernels — each a
+minimal twist on :class:`ReferenceSimulator` realising one of the failure
+modes the optimised engine's machinery could plausibly introduce — and
+asserts the rig's observation comparison catches every one on a
+hand-picked witness program.
+
+The witness programs are deliberately tiny.  If the rig can catch each
+bug on a four-line program, the 200-example Hypothesis sweep over the same
+comparison has real teeth.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import pytest
+
+from repro.sim import Watchdog
+from repro.sim.reference import ReferenceSimulator
+from tests.sim.kernel_programs import observations_match, run_program
+
+pytestmark = pytest.mark.unmonitored
+
+
+class UnstableTieBreakSimulator(ReferenceSimulator):
+    """Breaks same-timestamp determinism: at equal ``(time, priority)``
+    the *newest* item fires first (sequence order reversed) — the bug a
+    frozen or reused sequence number would cause."""
+
+    def _scan_next(self):
+        best = None
+        for index, (etime, priority, eseq, item) in enumerate(self._heap):
+            if item.cancelled:
+                continue
+            iseq = item.seq
+            if iseq == eseq:
+                key = (etime, priority, -eseq)
+            else:
+                if eseq != item.heap_seq:
+                    continue
+                key = (item.time, priority, -iseq)
+            if best is None or key < best[0]:
+                best = (key, index, item)
+        if best is None:
+            return None
+        key, index, item = best
+        return index, (key[0], key[1], -key[2], item)
+
+
+class ResurrectingSimulator(ReferenceSimulator):
+    """Fires cancelled items: the bug a missed tombstone check (or a
+    freelist slot reused without invalidating its old heap entry) would
+    cause."""
+
+    def _scan_next(self):
+        best_index = -1
+        best_key: Optional[Tuple[float, int, int]] = None
+        best_item = None
+        for index, (etime, priority, eseq, item) in enumerate(self._heap):
+            # BUG under test: no `item.cancelled` check.
+            iseq = item.seq
+            if iseq == eseq:
+                key = (etime, priority, eseq)
+            else:
+                if eseq != item.heap_seq:
+                    continue
+                key = (item.time, priority, iseq)
+            if best_key is None or key < best_key:
+                best_index, best_key, best_item = index, key, item
+        if best_key is None:
+            return None
+        return best_index, (best_key[0], best_key[1], best_key[2], best_item)
+
+
+class StaleAnchorSimulator(ReferenceSimulator):
+    """Fires a lazily re-armed timer at its *old* (anchor) position: the
+    bug the fast kernel's pop-loop reconciliation exists to prevent."""
+
+    def _scan_next(self):
+        best_index = -1
+        best_key: Optional[Tuple[float, int, int]] = None
+        best_item = None
+        for index, (etime, priority, eseq, item) in enumerate(self._heap):
+            if item.cancelled:
+                continue
+            if item.seq != eseq and eseq != item.heap_seq:
+                continue
+            # BUG under test: the entry's pushed key is trusted even when
+            # the handle's authoritative (time, seq) has moved past it.
+            key = (etime, priority, eseq)
+            if best_key is None or key < best_key:
+                best_index, best_key, best_item = index, key, item
+        if best_key is None:
+            return None
+        return best_index, (best_key[0], best_key[1], best_key[2], best_item)
+
+
+class SwallowingSimulator(ReferenceSimulator):
+    """Silently drops one scheduled item (the third pop never fires): the
+    bug an over-eager compaction pass discarding a live entry would
+    cause."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._pops_seen = 0
+
+    def _scan_next(self):
+        found = super()._scan_next()
+        if found is None:
+            return None
+        self._pops_seen += 1
+        if self._pops_seen == 3:
+            self._take(found[0])            # BUG under test: drop it
+            return super()._scan_next()
+        return found
+
+
+#: broken kernel -> witness program that must expose it.  Each witness is
+#: the smallest program whose observations depend on the invariant the
+#: kernel breaks.
+BROKEN_KERNELS = {
+    "unstable_tie_break": (
+        UnstableTieBreakSimulator,
+        [("burst", 3, False), ("timer", 0.0), ("sleep", 1.0)],
+    ),
+    "resurrects_cancelled": (
+        ResurrectingSimulator,
+        [("timer", 1.0), ("cancel", 0), ("timer", 2.0), ("sleep", 3.0)],
+    ),
+    "fires_stale_anchor": (
+        StaleAnchorSimulator,
+        # timer armed at 1.0, lazily moved to 2.0; a timeout at 1.5 must
+        # fire in between — the broken kernel fires the timer first, at
+        # its stale position.
+        [("timer", 1.0), ("rearm", 0, 2.0), ("sleep", 1.5), ("sleep", 1.5)],
+    ),
+    "swallows_live_event": (
+        SwallowingSimulator,
+        [("timer", 0.5), ("timer", 1.0), ("timer", 1.5), ("sleep", 2.0)],
+    ),
+}
+
+
+def _observe(program, sim_cls):
+    """Observations of ``program`` on ``sim_cls``; a crash is itself a
+    (caught) divergence, folded into the observation value."""
+    factory = lambda: sim_cls(seed=5, watchdog=Watchdog())  # noqa: E731
+    try:
+        return run_program(program, sim_factory=factory)
+    except Exception as exc:  # a broken kernel may also simply blow up
+        return ("crashed", type(exc).__name__, str(exc))
+
+
+@pytest.mark.parametrize("name", sorted(BROKEN_KERNELS))
+def test_rig_catches_broken_kernel(name):
+    sim_cls, witness = BROKEN_KERNELS[name]
+    fast = run_program(witness, kernel="fast")
+    broken = _observe(witness, sim_cls)
+    assert not observations_match(fast, broken), (
+        f"rig failed to catch {name}: {fast!r}"
+    )
+
+
+@pytest.mark.parametrize("name", sorted(BROKEN_KERNELS))
+def test_witnesses_pass_on_clean_kernels(name):
+    """The witnesses discriminate on the *bug*, not on kernel identity:
+    the honest reference kernel matches the fast kernel on every one."""
+    _, witness = BROKEN_KERNELS[name]
+    assert observations_match(
+        run_program(witness, kernel="fast"),
+        run_program(witness, kernel="reference"),
+    )
+
+
+def test_every_broken_kernel_differs_from_reference():
+    """The broken kernels genuinely override behaviour (guards against a
+    refactor quietly making a subclass a no-op, which would turn
+    test_rig_catches_broken_kernel into a tautology... backwards)."""
+    for name, (sim_cls, _) in BROKEN_KERNELS.items():
+        assert sim_cls._scan_next is not ReferenceSimulator._scan_next, name

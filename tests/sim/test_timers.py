@@ -173,3 +173,71 @@ def test_random_mid_run_cancellation(data):
             sim.call_at(at, handles[victim].cancel)
     sim.run()
     assert set(fired) == set(range(n)) - cancelled
+
+
+@given(st.data())
+@settings(max_examples=60, deadline=None)
+def test_slot_reuse_never_resurrects_cancelled_timer(data):
+    """Re-armable slots reuse sequence numbers from the same counter that
+    cancelled timers' tombstones were issued from, and compaction re-keys
+    surviving entries in place.  No interleaving of cancels with re-arm
+    churn on *other* slots may ever resurrect a cancelled timer — and
+    every live slot still fires exactly once, at its final position."""
+    sim = Simulator()
+    fired = []
+    n = data.draw(st.integers(min_value=3, max_value=20))
+    handles = [sim.call_at(
+        data.draw(st.floats(min_value=0.0, max_value=30.0, allow_nan=False)),
+        fired.append, index) for index in range(n)]
+    alive = set(range(n))
+    for _ in range(data.draw(st.integers(min_value=5, max_value=80))):
+        index = data.draw(st.integers(min_value=0, max_value=n - 1))
+        if index in alive and data.draw(st.booleans()):
+            handles[index].cancel()
+            alive.discard(index)
+        elif index in alive:
+            # churn: lazy moves later, eager moves earlier, both legal
+            handles[index].rearm(data.draw(st.floats(
+                min_value=0.0, max_value=30.0, allow_nan=False)))
+    sim.run()
+    assert sorted(fired) == sorted(alive)          # no resurrection, no loss
+    assert len(fired) == len(set(fired))           # and exactly once each
+    expected = sorted(alive, key=lambda i: (handles[i].time, handles[i].seq))
+    assert fired == expected                       # at the final position
+
+
+def test_compaction_bounds_memory_under_100k_churn():
+    """100k short-lived timers — a third cancelled, a third re-armed, a
+    third fired — with a small persistent live set: the heap (live entries
+    plus tombstones) stays bounded by a small multiple of the live set,
+    never accumulating the churn."""
+    sim = Simulator()
+    fired = []
+    persistent = [sim.call_at(1e9 + i, fired.append, -1 - i)
+                  for i in range(32)]
+    floor = Simulator.COMPACT_MIN_TOMBSTONES
+    live_churn = 0
+    for i in range(100_000):
+        handle = sim.call_at(0.5 + (i % 512) * 1e-4, fired.append, i)
+        if i % 3 == 0:
+            handle.cancel()
+        elif i % 3 == 1:
+            handle.rearm(0.25)      # earlier: tombstones the first entry
+            handle.cancel()
+        else:
+            live_churn += 1         # left to fire
+        if i % 512 == 511:
+            before = len(fired)
+            sim.run(until=sim.now + 1.0)   # drain the pending churn slice
+            live_churn -= len(fired) - before
+        # the memory invariant: live entries plus tombstones, bounded by
+        # the live set and the compaction policy's floor — never by the
+        # 100k timers churned through
+        live_now = len(persistent) + live_churn
+        assert len(sim._heap) <= 2 * live_now + 2 * floor + 4
+        assert sim._tombstones <= max(floor, len(sim._heap) // 2 + 1)
+    assert sim._tombstones_total > 60_000   # the churn really happened
+    assert sim.compactions > 0
+    sim.run(until=2e9)
+    assert len(fired) == 32 + sum(1 for i in range(100_000) if i % 3 == 2)
+    assert sim._tombstones == 0
